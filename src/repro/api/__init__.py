@@ -1,0 +1,51 @@
+"""The TNIC network library (§6): programming APIs and transformation.
+
+* :mod:`~repro.api.connection` — node/connection setup: ``ibv_qp_conn``,
+  ``alloc_mem``, ``init_lqueue``, ``ibv_sync`` (Table 1, initialisation
+  APIs) plus the :class:`~repro.api.connection.Cluster` convenience that
+  stands up a simulated multi-node deployment.
+* :mod:`~repro.api.ops` — network APIs: ``auth_send``, ``local_send``,
+  ``local_verify``, ``poll``, ``rem_read``, ``rem_write``.
+* :mod:`~repro.api.transform` — the generic CFT→BFT transformation
+  recipe of §6.2 (Listing 1): wrapper ``send``/``recv`` functions that
+  add state simulation and view checks over the TNIC primitives.
+"""
+
+from repro.api.connection import Cluster, IbvConnection, SessionDirectory, TnicNode
+from repro.api.multicast import MulticastGroup, MulticastReceiver, MulticastViolation
+from repro.api.rpc import RpcEndpoint, RpcError, RpcTimeout
+from repro.api.ops import (
+    auth_send,
+    local_send,
+    local_verify,
+    poll,
+    rem_read,
+    rem_write,
+)
+from repro.api.transform import (
+    BftTransform,
+    TransformViolation,
+    WrappedMessage,
+)
+
+__all__ = [
+    "BftTransform",
+    "Cluster",
+    "IbvConnection",
+    "MulticastGroup",
+    "MulticastReceiver",
+    "MulticastViolation",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcTimeout",
+    "SessionDirectory",
+    "TnicNode",
+    "TransformViolation",
+    "WrappedMessage",
+    "auth_send",
+    "local_send",
+    "local_verify",
+    "poll",
+    "rem_read",
+    "rem_write",
+]

@@ -1,0 +1,128 @@
+"""A trusted request/response (RPC) layer over the TNIC APIs.
+
+The paper's software baseline is eRPC; this module provides the
+equivalent programming surface on top of ``auth_send``: correlated
+request/response pairs over one reliable, attested connection.  Every
+frame on the wire is TNIC-attested, so RPC inherits transferable
+authentication and non-equivocation for free — a Byzantine network
+cannot forge, replay or reorder calls.
+
+Usage::
+
+    server = RpcEndpoint(server_conn)
+    server.serve(lambda request: b"echo:" + request)
+
+    client = RpcEndpoint(client_conn)
+    response = cluster.run(client.call(b"ping"))
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.api.connection import IbvConnection
+from repro.api.ops import auth_send
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+_REQUEST = 0x51  # 'Q'
+_RESPONSE = 0x53  # 'S'
+_ERROR = 0x45  # 'E'
+
+
+class RpcError(Exception):
+    """A call failed: remote handler error or timeout."""
+
+
+class RpcTimeout(RpcError):
+    """The response did not arrive within the deadline."""
+
+
+def _frame(kind: int, call_id: int, body: bytes) -> bytes:
+    return bytes([kind]) + call_id.to_bytes(8, "big") + body
+
+
+def _parse(data: bytes) -> tuple[int, int, bytes]:
+    if len(data) < 9:
+        raise RpcError("malformed RPC frame")
+    return data[0], int.from_bytes(data[1:9], "big"), data[9:]
+
+
+class RpcEndpoint:
+    """One side of an RPC conversation over a TNIC connection."""
+
+    def __init__(self, conn: IbvConnection) -> None:
+        self.conn = conn
+        self.sim = conn.node.sim
+        self._next_call_id = 0
+        self._pending: dict[int, "Event"] = {}
+        self._handler: Callable[[bytes], bytes] | None = None
+        self.calls_sent = 0
+        self.calls_served = 0
+        self.handler_errors = 0
+        conn.node.device.set_receive_callback(conn.qp_number, self._on_item)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def call(self, request: bytes, timeout_us: float = 100_000.0) -> "Event":
+        """Issue a call; the event resolves with the response bytes,
+        or fails with :class:`RpcTimeout` / :class:`RpcError`."""
+        call_id = self._next_call_id
+        self._next_call_id += 1
+        self.calls_sent += 1
+        result = self.sim.event()
+        self._pending[call_id] = result
+        auth_send(self.conn, _frame(_REQUEST, call_id, request))
+
+        def _expire() -> None:
+            pending = self._pending.pop(call_id, None)
+            if pending is not None and not pending.triggered:
+                pending.fail(RpcTimeout(
+                    f"call {call_id} timed out after {timeout_us}us"
+                ))
+
+        self.sim.delayed_call(timeout_us, _expire)
+        return result
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def serve(self, handler: Callable[[bytes], bytes]) -> None:
+        """Install the request handler for this endpoint."""
+        self._handler = handler
+
+    # ------------------------------------------------------------------
+    def _on_item(self, item: dict) -> None:
+        kind, call_id, body = _parse(item["payload"])
+        if kind == _REQUEST:
+            self._serve_request(call_id, body)
+        elif kind in (_RESPONSE, _ERROR):
+            pending = self._pending.pop(call_id, None)
+            if pending is None or pending.triggered:
+                return  # late response after timeout
+            if kind == _RESPONSE:
+                pending.succeed(body)
+            else:
+                pending.fail(RpcError(body.decode(errors="replace")))
+
+    def _serve_request(self, call_id: int, body: bytes) -> None:
+        if self._handler is None:
+            auth_send(self.conn, _frame(_ERROR, call_id, b"no handler"))
+            return
+        self.calls_served += 1
+        try:
+            response = self._handler(body)
+        except Exception as exc:  # handler bugs become remote errors
+            self.handler_errors += 1
+            auth_send(
+                self.conn,
+                _frame(_ERROR, call_id, f"handler error: {exc}".encode()),
+            )
+            return
+        auth_send(self.conn, _frame(_RESPONSE, call_id, response))
+
+    def close(self) -> None:
+        """Detach from the connection (restores pull-style reception)."""
+        self.conn.node.device.set_receive_callback(self.conn.qp_number, None)

@@ -1,0 +1,37 @@
+"""Bootstrapping and remote attestation of TNIC devices (§4.3, Fig 3).
+
+Roles (who trust each other, per the threat model):
+
+* **Manufacturer** — burns a per-device hardware key ``HW_key`` into
+  secure on-chip storage at construction time.
+* **Controller firmware** — decrypted with ``HW_key``; generates a
+  device/binary-specific key pair ``Ctrl_{pub,priv}`` and a
+  manufacturer-rooted measurement certificate ``Ctrl_bin_cert``.
+* **IP vendor** — holds the TNIC bitstream and session secrets; its
+  public key is embedded in the controller binary.  Runs the remote
+  attestation protocol of Figure 3 and, over the resulting mutually
+  authenticated TLS channel, delivers the secrets and ``TNIC_bit``.
+
+The full protocol is exercised by :func:`provision_device`; the model
+checked in :mod:`repro.verification` mirrors these exact steps.
+"""
+
+from repro.attest_protocol.actors import (
+    IpVendor,
+    Manufacturer,
+    ProtocolError,
+    TnicControllerDevice,
+)
+from repro.attest_protocol.protocol import ProvisionedDevice, provision_device
+from repro.attest_protocol.tls import SecureChannel, TlsError
+
+__all__ = [
+    "IpVendor",
+    "Manufacturer",
+    "ProtocolError",
+    "ProvisionedDevice",
+    "SecureChannel",
+    "TlsError",
+    "TnicControllerDevice",
+    "provision_device",
+]

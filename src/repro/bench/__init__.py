@@ -1,0 +1,26 @@
+"""Benchmark harness utilities.
+
+* :mod:`~repro.bench.workload` — workload generators (packet-size
+  sweeps, KV request streams, increment batches) used by the per-figure
+  benchmarks.
+* :mod:`~repro.bench.report` — plain-text table/series renderers that
+  print benchmark results in the same rows/series the paper reports.
+"""
+
+from repro.bench.report import Series, Table, format_ratio
+from repro.bench.workload import (
+    PACKET_SIZE_SWEEP,
+    kv_workload,
+    packet_sweep,
+    zipfian_keys,
+)
+
+__all__ = [
+    "PACKET_SIZE_SWEEP",
+    "Series",
+    "Table",
+    "format_ratio",
+    "kv_workload",
+    "packet_sweep",
+    "zipfian_keys",
+]

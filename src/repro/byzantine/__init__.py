@@ -1,0 +1,28 @@
+"""Byzantine adversary harness.
+
+Tools for subjecting TNIC and the systems built on it to the threat
+model of §3.2: an attacker controlling the host software and the
+network.  :mod:`~repro.byzantine.adversary` provides composable attack
+campaigns (forgery, replay storms, tampering bursts, counter
+manipulation) and an :class:`~repro.byzantine.adversary.AttackReport`
+summarising what the attacker attempted and what, if anything, got
+through — the security analogue of a benchmark harness.
+"""
+
+from repro.byzantine.adversary import (
+    AttackReport,
+    forge_attack,
+    impersonation_attack,
+    replay_attack,
+    run_wire_campaign,
+    stale_counter_attack,
+)
+
+__all__ = [
+    "AttackReport",
+    "forge_attack",
+    "impersonation_attack",
+    "replay_attack",
+    "run_wire_campaign",
+    "stale_counter_attack",
+]

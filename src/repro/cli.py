@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users one entry point to the library's headline
+capabilities without writing code:
+
+* ``demo``       — the quickstart: trusted send + attack rejection.
+* ``stacks``     — the §8.2 latency sweep across the five stacks.
+* ``systems``    — throughput of the four systems across providers.
+* ``lemmas``     — model-check the §4.4 lemmas (plus secrecy).
+* ``attack``     — run the adversary campaigns and report the outcome.
+* ``resources``  — the Table-5 / Figure-13 FPGA resource analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.api import Cluster, auth_send, local_send, local_verify
+    from repro.api.ops import recv
+    from repro.core.attestation import AttestedMessage
+
+    cluster = Cluster(["alice", "bob"])
+    conn_a, conn_b = cluster.connect("alice", "bob")
+    cluster.run(auth_send(conn_a, b"hello, trusted world"))
+    cluster.run()
+    item = recv(conn_b)
+    print(f"delivered: {item['payload']!r} "
+          f"(device={item['message'].device_id}, "
+          f"counter={item['message'].counter})")
+
+    def attack():
+        genuine = yield local_send(conn_a, b"genuine")
+        forged = AttestedMessage(
+            payload=b"forged", alpha=genuine.alpha,
+            session_id=genuine.session_id, device_id=genuine.device_id,
+            counter=genuine.counter,
+        )
+        ok = yield local_verify(conn_b, forged)
+        return ok
+
+    accepted = cluster.run(cluster.sim.process(attack()))
+    print(f"forged message accepted: {accepted}  (expected: False)")
+    return 0
+
+
+def _cmd_stacks(args: argparse.Namespace) -> int:
+    from repro.bench import PACKET_SIZE_SWEEP, Series
+    from repro.bench.report import render_figure
+    from repro.stacks import measure_latency
+    from repro.stacks.variants import ALL_STACKS
+
+    series = []
+    for name, stack_cls in ALL_STACKS.items():
+        line = Series(name)
+        for size in PACKET_SIZE_SWEEP:
+            line.add(size, measure_latency(stack_cls, size,
+                                           operations=args.ops).latency_us)
+        series.append(line)
+    print(render_figure("Send latency (Figure 9)", "bytes", "us", series))
+    return 0
+
+
+def _cmd_systems(args: argparse.Namespace) -> int:
+    from repro.bench import Table, kv_workload
+    from repro.systems.bft import BftCounter
+    from repro.systems.chain import ChainReplication
+    from repro.systems.peer_review import PeerReviewSystem
+
+    providers = ["ssl-lib", "ssl-server", "sgx", "amd-sev", "tnic"]
+    table = Table(
+        "Distributed systems throughput (op/s)",
+        ["provider", "BFT counter", "Chain Repl.", "PeerReview"],
+    )
+    for provider in providers:
+        bft = BftCounter(provider, batch=1, seed=1).run_workload(
+            args.ops, pipeline_depth=4
+        )
+        chain = ChainReplication(provider, seed=1).run_workload(
+            kv_workload(args.ops, seed=1)
+        )
+        pr = PeerReviewSystem(provider, audit=True, seed=1).run_workload(
+            args.ops
+        )
+        table.add_row(
+            provider,
+            f"{bft.throughput_ops:,.0f}",
+            f"{chain.throughput_ops:,.0f}",
+            f"{pr.throughput_ops:,.0f}",
+        )
+    table.show()
+    return 0
+
+
+def _cmd_lemmas(args: argparse.Namespace) -> int:
+    from repro.verification import (
+        AttestationPhaseModel,
+        COMMUNICATION_LEMMAS,
+        TnicCommunicationModel,
+        check_lemma,
+        lemma_attestation_precedence,
+    )
+    from repro.verification.secrecy import (
+        bitstream_secret,
+        hw_key_secret,
+        session_key_secret,
+    )
+
+    model = TnicCommunicationModel(max_sends=args.sends)
+    failures = 0
+    for name, lemma in sorted(COMMUNICATION_LEMMAS.items()):
+        result = check_lemma(model, lemma, max_depth=args.depth, name=name)
+        print(result.describe())
+        failures += 0 if result.holds else 1
+    result = check_lemma(
+        AttestationPhaseModel(), lemma_attestation_precedence,
+        max_depth=6, name="initialization_attested",
+    )
+    print(result.describe())
+    failures += 0 if result.holds else 1
+    for name, holds in [
+        ("HW_key_priv_secret", hw_key_secret()),
+        ("S_key_secret", session_key_secret()),
+        ("S_key_secret (late HW-key compromise)",
+         session_key_secret(compromise_hw_key_later=True)),
+        ("bitstream_secret", bitstream_secret()),
+    ]:
+        print(f"{name}: {'verified' if holds else 'VIOLATED'}")
+        failures += 0 if holds else 1
+    return 1 if failures else 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.byzantine import (
+        forge_attack,
+        impersonation_attack,
+        replay_attack,
+        run_wire_campaign,
+        stale_counter_attack,
+    )
+    from repro.core import AttestationKernel
+
+    key = b"cli-attack-key-0123456789abcdef!"
+    sender = AttestationKernel(1)
+    receiver = AttestationKernel(2)
+    sender.install_session(1, key)
+    receiver.install_session(1, key)
+    reports = [
+        forge_attack(receiver, 1, attempts=args.attempts),
+        replay_attack(sender, receiver, 1),
+        stale_counter_attack(sender, receiver, 1),
+        impersonation_attack(receiver, 1),
+        run_wire_campaign(messages=args.attempts),
+    ]
+    breached = 0
+    for report in reports:
+        status = "defended" if report.defended else "BREACHED"
+        print(f"{report.attack:16s} attempts={report.attempts:4d} "
+              f"rejected={report.rejected:4d}  {status}")
+        breached += 0 if report.defended else 1
+    return 1 if breached else 0
+
+
+def _cmd_resources(args: argparse.Namespace) -> int:
+    from repro.core.resources import FpgaModel
+
+    model = FpgaModel()
+    print(f"max concurrent connections on the U280: "
+          f"{model.max_connections()}")
+    for connections in (1, 8, 16, 32):
+        shares = model.utilisation(connections)
+        print(
+            f"  {connections:3d} connections: "
+            f"LUT {100 * shares['lut']:5.1f}%  "
+            f"FF {100 * shares['ff']:5.1f}%  "
+            f"RAMB36 {100 * shares['ramb36']:5.1f}%"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TNIC (ASPLOS'25) reproduction — demos and analyses",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="trusted messaging quickstart")
+
+    stacks = sub.add_parser("stacks", help="Figure-9 latency sweep")
+    stacks.add_argument("--ops", type=int, default=50)
+
+    systems = sub.add_parser("systems", help="distributed-system comparison")
+    systems.add_argument("--ops", type=int, default=8)
+
+    lemmas = sub.add_parser("lemmas", help="model-check the §4.4 lemmas")
+    lemmas.add_argument("--sends", type=int, default=3)
+    lemmas.add_argument("--depth", type=int, default=7)
+
+    attack = sub.add_parser("attack", help="run adversary campaigns")
+    attack.add_argument("--attempts", type=int, default=30)
+
+    sub.add_parser("resources", help="FPGA resource analysis")
+    return parser
+
+
+_HANDLERS = {
+    "demo": _cmd_demo,
+    "stacks": _cmd_stacks,
+    "systems": _cmd_systems,
+    "lemmas": _cmd_lemmas,
+    "attack": _cmd_attack,
+    "resources": _cmd_resources,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

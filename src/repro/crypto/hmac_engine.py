@@ -1,0 +1,86 @@
+"""HMAC-SHA256: the MAC behind TNIC attestation certificates.
+
+Two layers live here:
+
+* Plain functions :func:`hmac_sha256` / :func:`hmac_verify` computing
+  real MACs (used everywhere an attestation α is produced or checked).
+* :class:`HmacEngine`, a model of the attestation kernel's hardware
+  HMAC unit: one byte-serial pipeline whose occupancy creates queueing
+  when many messages contend for it (the reason TNIC latency grows with
+  message size, §8.2).
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+from typing import TYPE_CHECKING
+
+from repro.crypto.hashing import canonical_bytes
+from repro.sim.latency import tnic_hmac_pipeline_us
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import Simulator
+    from repro.sim.events import Event
+
+MAC_SIZE = 32
+
+
+def hmac_sha256(key: bytes, *parts) -> bytes:
+    """HMAC-SHA256 of the canonical encoding of *parts* under *key*."""
+    if not isinstance(key, bytes) or not key:
+        raise ValueError("HMAC key must be non-empty bytes")
+    return _hmac.new(key, canonical_bytes(parts), "sha256").digest()
+
+
+def hmac_verify(key: bytes, mac: bytes, *parts) -> bool:
+    """Constant-time comparison of *mac* against the expected MAC."""
+    expected = hmac_sha256(key, *parts)
+    return _hmac.compare_digest(expected, mac)
+
+
+class HmacEngine:
+    """The attestation kernel's single HMAC pipeline (timing model).
+
+    The real unit processes message bytes serially; concurrent
+    attest/verify requests queue.  :meth:`compute` returns a simulation
+    event that triggers, after pipeline occupancy, with the MAC bytes.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._pipeline = Resource(sim, capacity=1)
+        self.operations = 0
+        self.busy_us = 0.0
+
+    def occupancy_us(self, size_bytes: int) -> float:
+        """Pipeline time for a message of *size_bytes*."""
+        return tnic_hmac_pipeline_us(size_bytes)
+
+    def occupy(self, size_bytes: int) -> "Event":
+        """Charge pipeline time for a *size_bytes* message without
+        computing a MAC (used when the MAC was already produced and only
+        the hardware occupancy matters)."""
+        done = self.sim.event()
+        self.sim.process(self._run(size_bytes, b"", done))
+        return done
+
+    def compute(self, key: bytes, *parts) -> "Event":
+        """Queue an HMAC computation; event value is the MAC bytes."""
+        mac = hmac_sha256(key, *parts)
+        size = len(canonical_bytes(parts))
+        done = self.sim.event()
+        process = self._run(size, mac, done)
+        self.sim.process(process)
+        return done
+
+    def _run(self, size: int, mac: bytes, done):
+        yield self._pipeline.acquire()
+        delay = self.occupancy_us(size)
+        self.operations += 1
+        self.busy_us += delay
+        try:
+            yield self.sim.timeout(delay)
+        finally:
+            self._pipeline.release()
+        done.succeed(mac)

@@ -1,0 +1,40 @@
+"""Simulated network substrate.
+
+Models the pieces below the RoCE protocol kernel in Figure 2:
+
+* :mod:`~repro.net.packet` — Ethernet/IPv4/UDP/InfiniBand BTH headers
+  and the TNIC attestation trailer appended to RDMA payloads (§4.2).
+* :mod:`~repro.net.arp` — the ARP server's MAC/IP lookup table.
+* :mod:`~repro.net.mac` — the 100 Gb MAC (link layer) with Tx/Rx
+  interfaces and wire serialisation.
+* :mod:`~repro.net.fabric` — point-to-point links and a switch, with
+  hooks for loss, duplication, reordering and Byzantine tampering.
+"""
+
+from repro.net.arp import ArpServer
+from repro.net.fabric import Fabric, Link, NetworkFault
+from repro.net.mac import EthernetMac
+from repro.net.packet import (
+    AttestationTrailer,
+    EthernetHeader,
+    IbTransportHeader,
+    Ipv4Header,
+    Packet,
+    RdmaOpcode,
+    UdpHeader,
+)
+
+__all__ = [
+    "ArpServer",
+    "AttestationTrailer",
+    "EthernetHeader",
+    "EthernetMac",
+    "Fabric",
+    "IbTransportHeader",
+    "Ipv4Header",
+    "Link",
+    "NetworkFault",
+    "Packet",
+    "RdmaOpcode",
+    "UdpHeader",
+]

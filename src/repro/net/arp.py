@@ -1,0 +1,44 @@
+"""The ARP server IP inside the TNIC hardware (§4.2).
+
+"The ARP server has a lookup table containing MAC and IP address
+correspondences. Right before the transmission, the RDMA packets ...
+first pass through a MAC and IP encoding phase, where the Request
+generation module extracts the remote MAC address from the lookup
+table in the ARP server."
+"""
+
+from __future__ import annotations
+
+
+class ArpError(KeyError):
+    """Raised when an IP has no MAC mapping in the ARP table."""
+
+
+class ArpServer:
+    """A static MAC/IP correspondence table."""
+
+    def __init__(self) -> None:
+        self._ip_to_mac: dict[str, str] = {}
+
+    def register(self, ip: str, mac: str) -> None:
+        """Install or update the mapping for *ip*."""
+        if not ip or not mac:
+            raise ValueError("ip and mac must be non-empty")
+        self._ip_to_mac[ip] = mac
+
+    def lookup(self, ip: str) -> str:
+        """Resolve *ip* to a MAC address."""
+        try:
+            return self._ip_to_mac[ip]
+        except KeyError:
+            raise ArpError(f"no ARP entry for {ip!r}") from None
+
+    def entries(self) -> dict[str, str]:
+        """Snapshot of the table (for diagnostics)."""
+        return dict(self._ip_to_mac)
+
+    def __contains__(self, ip: str) -> bool:
+        return ip in self._ip_to_mac
+
+    def __len__(self) -> int:
+        return len(self._ip_to_mac)

@@ -1,0 +1,196 @@
+"""The network fabric: links, a switch and fault injection.
+
+The threat model (§3.2) lets the adversary control the network: drop,
+duplicate, reorder, replay and tamper with packets.  :class:`Link`
+exposes those capabilities as a :class:`NetworkFault` policy so tests
+and benchmarks can subject the RoCE reliability layer and the
+attestation kernel to hostile conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.mac import EthernetMac
+from repro.net.packet import Packet
+from repro.sim.latency import WIRE_PROPAGATION_US
+from repro.sim.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import Simulator
+
+
+@dataclass
+class NetworkFault:
+    """Adversarial / lossy behaviour applied to a link.
+
+    ``tamper`` may return a modified packet, ``None`` to leave the
+    packet unchanged.  Replayed packets are redelivered copies of
+    earlier traffic (stale but well-formed) — the attack class TNIC's
+    counters must defeat.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+    reorder_extra_delay_us: float = 25.0
+    replay_probability: float = 0.0
+    tamper: Callable[[Packet], Packet | None] | None = None
+
+    def validate(self) -> None:
+        for name in ("drop_probability", "duplicate_probability",
+                     "reorder_probability", "replay_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of range: {value}")
+
+
+@dataclass
+class LinkStats:
+    """Counters for what the link did to traffic."""
+
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    replayed: int = 0
+    tampered: int = 0
+
+
+class Link:
+    """A bidirectional point-to-point wire between two MACs."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        mac_a: EthernetMac,
+        mac_b: EthernetMac,
+        propagation_us: float = WIRE_PROPAGATION_US,
+        fault: NetworkFault | None = None,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        if propagation_us < 0:
+            raise ValueError("propagation delay must be >= 0")
+        self.sim = sim
+        self.propagation_us = propagation_us
+        self.fault = fault or NetworkFault()
+        self.fault.validate()
+        self.rng = rng or DeterministicRng(0, "link")
+        self.stats = LinkStats()
+        self._ends = {mac_a.address: mac_a, mac_b.address: mac_b}
+        self._replay_buffer: list[tuple[EthernetMac, Packet]] = []
+        mac_a.attach(self)
+        mac_b.attach(self)
+
+    def _peer(self, sender: EthernetMac) -> EthernetMac:
+        for address, mac in self._ends.items():
+            if address != sender.address:
+                return mac
+        raise RuntimeError("link has no peer for sender")
+
+    def carry(self, sender: EthernetMac, packet: Packet) -> None:
+        """Move *packet* from *sender* toward the opposite end."""
+        receiver = self._peer(sender)
+        outcome = packet
+
+        if self.fault.tamper is not None:
+            modified = self.fault.tamper(packet)
+            if modified is not None and modified is not packet:
+                self.stats.tampered += 1
+                outcome = modified
+
+        if self.fault.drop_probability and self.rng.chance(
+            self.fault.drop_probability
+        ):
+            self.stats.dropped += 1
+            return
+
+        delay = self.propagation_us
+        if self.fault.reorder_probability and self.rng.chance(
+            self.fault.reorder_probability
+        ):
+            self.stats.reordered += 1
+            delay += self.fault.reorder_extra_delay_us
+
+        self._deliver_after(delay, receiver, outcome)
+
+        if self.fault.duplicate_probability and self.rng.chance(
+            self.fault.duplicate_probability
+        ):
+            self.stats.duplicated += 1
+            self._deliver_after(delay + 1.0, receiver, outcome)
+
+        if self.fault.replay_probability:
+            self._replay_buffer.append((receiver, outcome))
+            if len(self._replay_buffer) > 64:
+                self._replay_buffer.pop(0)
+            if self.rng.chance(self.fault.replay_probability):
+                victim_receiver, stale = self.rng.choice(self._replay_buffer)
+                self.stats.replayed += 1
+                self._deliver_after(delay + 5.0, victim_receiver, stale)
+
+    def _deliver_after(
+        self, delay: float, receiver: EthernetMac, packet: Packet
+    ) -> None:
+        self.stats.delivered += 1
+        self.sim.delayed_call(delay, lambda: receiver.deliver(packet))
+
+
+class Fabric:
+    """A star topology: every registered MAC reaches every other.
+
+    Used by the multi-node distributed-system experiments, where three
+    servers sit behind one switch.  Per-destination links keep the
+    fault-injection API identical to :class:`Link`.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        propagation_us: float = WIRE_PROPAGATION_US,
+        fault: NetworkFault | None = None,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        self.sim = sim
+        self.propagation_us = propagation_us
+        self.fault = fault or NetworkFault()
+        self.fault.validate()
+        self.rng = rng or DeterministicRng(0, "fabric")
+        self.stats = LinkStats()
+        self._macs: dict[str, EthernetMac] = {}
+
+    def register(self, mac: EthernetMac) -> None:
+        """Plug *mac* into the switch."""
+        if mac.address in self._macs:
+            raise ValueError(f"duplicate MAC address {mac.address!r}")
+        self._macs[mac.address] = mac
+        mac.attach(self)  # Fabric quacks like a Link for EthernetMac.
+
+    def carry(self, sender: EthernetMac, packet: Packet) -> None:
+        """Switch *packet* to the MAC named in its Ethernet header."""
+        receiver = self._macs.get(packet.eth.dst_mac)
+        if receiver is None:
+            self.stats.dropped += 1
+            return
+        if self.fault.tamper is not None:
+            modified = self.fault.tamper(packet)
+            if modified is not None and modified is not packet:
+                self.stats.tampered += 1
+                packet = modified
+        if self.fault.drop_probability and self.rng.chance(
+            self.fault.drop_probability
+        ):
+            self.stats.dropped += 1
+            return
+        delay = self.propagation_us
+        if self.fault.reorder_probability and self.rng.chance(
+            self.fault.reorder_probability
+        ):
+            self.stats.reordered += 1
+            delay += self.fault.reorder_extra_delay_us
+        self.stats.delivered += 1
+        self.sim.delayed_call(delay, lambda: receiver.deliver(packet))
+
+    def addresses(self) -> list[str]:
+        return sorted(self._macs)

@@ -1,0 +1,75 @@
+"""The 100 Gb MAC kernel (link layer) of the TNIC hardware (§4.2).
+
+"The 100Gb MAC kernel implements the link layer connecting TNIC to the
+network fabric over a 100G Ethernet Subsystem. The kernel also exposes
+two interfaces for transmitting (Tx) and receiving (Rx) network
+packets."
+
+The model serialises outgoing packets at wire bandwidth onto the
+attached link and deposits incoming packets into an Rx queue consumed
+by the RoCE protocol kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.packet import Packet
+from repro.sim.latency import WIRE_BANDWIDTH_BYTES_PER_US
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import Link
+    from repro.sim.clock import Simulator
+
+
+class EthernetMac:
+    """Tx/Rx interface between a NIC and the fabric."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        address: str,
+        bandwidth_bytes_per_us: float = WIRE_BANDWIDTH_BYTES_PER_US,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.bandwidth = bandwidth_bytes_per_us
+        self.rx_queue: Store = Store(sim)
+        self._link: "Link | None" = None
+        self._tx_busy_until = 0.0
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        #: Optional promiscuous tap for diagnostics / PeerReview witnesses.
+        self.rx_tap: Callable[[Packet], None] | None = None
+
+    def attach(self, link: "Link") -> None:
+        """Connect this MAC to a fabric link."""
+        self._link = link
+
+    @property
+    def attached(self) -> bool:
+        return self._link is not None
+
+    def transmit(self, packet: Packet) -> None:
+        """Serialise *packet* onto the wire after the Tx port frees up."""
+        if self._link is None:
+            raise RuntimeError(f"MAC {self.address} is not attached to a link")
+        size = packet.wire_size()
+        start = max(self.sim.now, self._tx_busy_until)
+        self._tx_busy_until = start + size / self.bandwidth
+        self.tx_packets += 1
+        self.tx_bytes += size
+        ready_in = self._tx_busy_until - self.sim.now
+        link = self._link
+        self.sim.delayed_call(ready_in, lambda: link.carry(self, packet))
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the link when a packet arrives at this MAC."""
+        self.rx_packets += 1
+        self.rx_bytes += packet.wire_size()
+        if self.rx_tap is not None:
+            self.rx_tap(packet)
+        self.rx_queue.put(packet)

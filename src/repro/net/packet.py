@@ -1,0 +1,141 @@
+"""Packet formats for the TNIC datapath.
+
+The RoCE v2 encapsulation from §4.2: an InfiniBand transport header
+(BTH) carried over UDP/IPv4/Ethernet.  TNIC extends the RDMA payload
+with a 64 B attestation α plus metadata — a 4 B session id, a 4 B device
+id and the sender's ``send_cnt`` ("the attestation kernel extends the
+payload by appending a 64B attestation and the metadata").
+
+Headers are plain dataclasses; :meth:`Packet.wire_size` accounts for
+every header byte so the bandwidth models see realistic sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+ETHERNET_HEADER_BYTES = 14 + 4  # header + FCS
+IPV4_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+BTH_BYTES = 12
+ROCE_V2_UDP_PORT = 4791
+
+#: "appending a 64B attestation" — the α field on the wire.
+ATTESTATION_BYTES = 64
+#: "a 4B id for the session id of the sender, a 4B ID for the device id
+#:  (unique per device), and the appropriate send_cnt" (8 B counter).
+ATTESTATION_METADATA_BYTES = 4 + 4 + 8
+
+
+class RdmaOpcode(enum.Enum):
+    """RDMA verbs carried in the BTH opcode field."""
+
+    SEND = "send"
+    WRITE = "write"
+    READ_REQUEST = "read_request"
+    READ_RESPONSE = "read_response"
+    ACK = "ack"
+    NAK = "nak"
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    src_mac: str
+    dst_mac: str
+
+    size_bytes = ETHERNET_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    src_ip: str
+    dst_ip: str
+
+    size_bytes = IPV4_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    src_port: int
+    dst_port: int = ROCE_V2_UDP_PORT
+
+    size_bytes = UDP_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class IbTransportHeader:
+    """InfiniBand Base Transport Header (the RoCE transport layer)."""
+
+    opcode: RdmaOpcode
+    dest_qp: int
+    psn: int
+    ack_req: bool = True
+
+    size_bytes = BTH_BYTES
+
+
+@dataclass(frozen=True)
+class AttestationTrailer:
+    """The TNIC extension appended to every attested payload."""
+
+    alpha: bytes
+    session_id: int
+    device_id: int
+    send_cnt: int
+
+    @property
+    def size_bytes(self) -> int:
+        return ATTESTATION_BYTES + ATTESTATION_METADATA_BYTES
+
+    def __post_init__(self) -> None:
+        if self.send_cnt < 0:
+            raise ValueError("send_cnt must be >= 0")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One RoCE v2 packet on the simulated wire."""
+
+    eth: EthernetHeader
+    ip: Ipv4Header
+    udp: UdpHeader
+    bth: IbTransportHeader
+    payload: bytes = b""
+    trailer: AttestationTrailer | None = None
+    #: Free-form annotations (remote address for WRITE, MSN for ACK, ...).
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        """Total bytes the packet occupies on the wire."""
+        size = (
+            self.eth.size_bytes
+            + self.ip.size_bytes
+            + self.udp.size_bytes
+            + self.bth.size_bytes
+            + len(self.payload)
+        )
+        if self.trailer is not None:
+            size += self.trailer.size_bytes
+        return size
+
+    def with_payload(self, payload: bytes) -> "Packet":
+        """Copy of this packet carrying a different payload (tampering)."""
+        return replace(self, payload=payload)
+
+    def with_trailer(self, trailer: AttestationTrailer | None) -> "Packet":
+        """Copy of this packet with a different attestation trailer."""
+        return replace(self, trailer=trailer)
+
+    def describe(self) -> str:
+        """Short human-readable summary for traces."""
+        att = (
+            f" att(dev={self.trailer.device_id},cnt={self.trailer.send_cnt})"
+            if self.trailer
+            else ""
+        )
+        return (
+            f"{self.bth.opcode.value} psn={self.bth.psn} qp={self.bth.dest_qp} "
+            f"{self.ip.src_ip}->{self.ip.dst_ip} {len(self.payload)}B{att}"
+        )

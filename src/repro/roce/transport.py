@@ -1,0 +1,491 @@
+"""The RoCE reliable transport (§4.2, Figure 2 dataflow).
+
+Transmission path: the Req handler receives a work request, the payload
+is fetched over DMA and attested, the Request generation module appends
+IB/UDP/IP headers (resolving the destination MAC through the ARP
+server) and hands the packet to the 100Gb MAC.
+
+Reception path: the Request decoder parses headers, enforces in-order
+PSNs (go-back-N with cumulative ACKs and NAKs), passes the attested
+message to the attestation kernel, and only a *successfully verified*
+message is delivered to the receive queue — a failed verification does
+not advance the PSN window, so the sender's retransmission of the
+genuine packet is still accepted.
+
+Reliability: "TNIC guarantees packet retransmission between two correct
+nodes until their successful reception" (§8.5); a per-QP retransmission
+timer resends the oldest unacknowledged packet.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.attestation import AttestationError, AttestationKernel, AttestedMessage
+from repro.net.arp import ArpServer
+from repro.net.mac import EthernetMac
+from repro.net.packet import (
+    AttestationTrailer,
+    EthernetHeader,
+    IbTransportHeader,
+    Ipv4Header,
+    Packet,
+    RdmaOpcode,
+    UdpHeader,
+)
+from repro.roce.queue_pair import QueuePair
+from repro.roce.state_tables import CompletionEntry, StateTables
+from repro.sim.resources import Store
+from repro.sim.trace import emit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import Simulator
+    from repro.sim.events import Event
+
+
+class TransportError(Exception):
+    """Raised when a reliable transfer permanently fails."""
+
+
+class _RxLane:
+    """Per-QP in-order reception lane feeding the verification pipeline."""
+
+    def __init__(self, store: Store) -> None:
+        self.store = store
+        #: Next PSN accepted off the wire (may run ahead of the
+        #: delivered watermark while verification is in flight).
+        self.next_arrival_psn = 0
+        #: Bumped on verification failure to invalidate queued packets.
+        self.epoch = 0
+        #: Payload chunks of a partially received multi-packet message.
+        self.partial: list[bytes] = []
+
+
+class RoceKernel:
+    """One RoCE protocol kernel instance attached to a MAC."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        mac: EthernetMac,
+        arp: ArpServer,
+        ip: str,
+        attestation: AttestationKernel | None = None,
+        retransmit_timeout_us: float = 200.0,
+        max_retries: int = 25,
+        max_connections: int = 500,
+        path_mtu: int = 4096,
+    ) -> None:
+        self.sim = sim
+        self.mac = mac
+        self.arp = arp
+        self.ip = ip
+        self.attestation = attestation
+        self.retransmit_timeout_us = retransmit_timeout_us
+        self.max_retries = max_retries
+        if path_mtu < 256:
+            raise ValueError("path MTU must be at least 256 bytes")
+        #: RoCE path MTU: messages larger than this are segmented into
+        #: FIRST/MIDDLE/LAST packets and reassembled in order (the IB
+        #: SEND First/Middle/Last opcode family).
+        self.path_mtu = path_mtu
+        #: RC flow control: at most this many unacknowledged packets per
+        #: QP; further work requests queue until ACKs open the window.
+        self.send_window = 128
+        self._tx_backlog: dict[int, list] = {}
+        self.tables = StateTables(max_connections)
+        self._queue_pairs: dict[int, QueuePair] = {}
+        self._send_completions: dict[tuple[int, int], "Event"] = {}
+        self._retransmit_running: set[int] = set()
+        self._rx_lanes: dict[int, _RxLane] = {}
+        #: Optional device hook invoked after each verified delivery;
+        #: lets the device service one-sided READs without host help.
+        self.deliver_hook = None
+        self.verification_failures = 0
+        sim.process(self._rx_loop())
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def create_qp(self, qp: QueuePair) -> None:
+        """Install a queue pair in the state tables."""
+        if qp.qp_number in self._queue_pairs:
+            raise ValueError(f"QP {qp.qp_number} already created")
+        self.tables.create(qp.qp_number)
+        self._queue_pairs[qp.qp_number] = qp
+
+    def connect_qp(self, qp_number: int, remote_qp_number: int) -> None:
+        """Bind the local QP to the peer's QP number (via ibv_sync)."""
+        qp = self._qp(qp_number)
+        self._queue_pairs[qp_number] = qp.with_remote_qp(remote_qp_number)
+
+    def _qp(self, qp_number: int) -> QueuePair:
+        try:
+            return self._queue_pairs[qp_number]
+        except KeyError:
+            raise KeyError(f"unknown QP {qp_number}") from None
+
+    # ------------------------------------------------------------------
+    # Transmission path
+    # ------------------------------------------------------------------
+    def post_send(
+        self,
+        qp_number: int,
+        message: AttestedMessage | bytes,
+        opcode: RdmaOpcode = RdmaOpcode.SEND,
+        meta: dict[str, Any] | None = None,
+    ) -> "Event":
+        """Queue a reliable send; the event triggers on ACK (or fails).
+
+        *message* is either an :class:`AttestedMessage` (trusted path)
+        or raw bytes (the untrusted RDMA-hw baseline uses the same
+        kernel without an attestation kernel attached).
+        """
+        qp = self._qp(qp_number)
+        if not qp.connected():
+            raise TransportError(f"QP {qp_number} is not connected (run ibv_sync)")
+        payload = (
+            message.payload if isinstance(message, AttestedMessage) else message
+        )
+        chunks = self._segment(payload)
+        completion = self.sim.event()
+        backlog = self._tx_backlog.setdefault(qp_number, [])
+        backlog.append((message, opcode, dict(meta or {}), chunks, completion))
+        self._pump_tx(qp_number)
+        return completion
+
+    def _pump_tx(self, qp_number: int) -> None:
+        """Transmit backlogged work requests while the window allows.
+
+        A message enters the wire only when all its segments fit in the
+        send window (or the window is empty, so oversized messages can
+        still make progress)."""
+        qp = self._qp(qp_number)
+        state = self.tables.get(qp_number)
+        backlog = self._tx_backlog.get(qp_number, [])
+        while backlog:
+            message, opcode, meta, chunks, completion = backlog[0]
+            fits = len(state.inflight) + len(chunks) <= self.send_window
+            if not fits and state.inflight:
+                break
+            backlog.pop(0)
+            last_psn = -1
+            for index, chunk in enumerate(chunks):
+                is_last = index == len(chunks) - 1
+                seg_meta = dict(meta)
+                if len(chunks) > 1:
+                    seg_meta["segments"] = len(chunks)
+                    seg_meta["seg_index"] = index
+                packet = self._build_packet(
+                    qp,
+                    message if is_last else chunk,  # α rides the LAST segment
+                    opcode,
+                    seg_meta,
+                    chunk_payload=chunk,
+                )
+                psn = state.record_send(packet, self.sim.now)
+                packet = self._with_psn(packet, psn, qp.remote_qp_number)
+                state.inflight[-1].packet = packet
+                emit(self.sim, "roce.tx", packet.describe(), node=self.ip)
+                self.mac.transmit(packet)
+                last_psn = psn
+            state.next_send_msn += 1
+            # The message completes when its final segment is acked.
+            self._send_completions[(qp_number, last_psn)] = completion
+            self._ensure_retransmit_timer(qp_number)
+
+    def _segment(self, payload: bytes) -> list[bytes]:
+        """Split *payload* into path-MTU-sized chunks (>= one chunk)."""
+        if len(payload) <= self.path_mtu:
+            return [payload]
+        return [
+            payload[offset : offset + self.path_mtu]
+            for offset in range(0, len(payload), self.path_mtu)
+        ]
+
+    def _build_packet(
+        self,
+        qp: QueuePair,
+        message: AttestedMessage | bytes,
+        opcode: RdmaOpcode,
+        meta: dict[str, Any],
+        chunk_payload: bytes | None = None,
+    ) -> Packet:
+        dst_mac = self.arp.lookup(qp.remote_ip)
+        trailer = None
+        if isinstance(message, AttestedMessage):
+            payload = message.payload if chunk_payload is None else chunk_payload
+            trailer = AttestationTrailer(
+                alpha=message.alpha,
+                session_id=message.session_id,
+                device_id=message.device_id,
+                send_cnt=message.counter,
+            )
+        else:
+            payload = message if chunk_payload is None else chunk_payload
+        return Packet(
+            eth=EthernetHeader(src_mac=self.mac.address, dst_mac=dst_mac),
+            ip=Ipv4Header(src_ip=qp.local_ip, dst_ip=qp.remote_ip),
+            udp=UdpHeader(src_port=qp.local_port, dst_port=qp.remote_port),
+            bth=IbTransportHeader(opcode=opcode, dest_qp=qp.remote_qp_number, psn=0),
+            payload=payload,
+            trailer=trailer,
+            meta=dict(meta, src_qp=qp.qp_number),
+        )
+
+    @staticmethod
+    def _with_psn(packet: Packet, psn: int, dest_qp: int) -> Packet:
+        bth = IbTransportHeader(
+            opcode=packet.bth.opcode, dest_qp=dest_qp, psn=psn, ack_req=True
+        )
+        return Packet(
+            eth=packet.eth,
+            ip=packet.ip,
+            udp=packet.udp,
+            bth=bth,
+            payload=packet.payload,
+            trailer=packet.trailer,
+            meta=packet.meta,
+        )
+
+    # ------------------------------------------------------------------
+    # Retransmission timer
+    # ------------------------------------------------------------------
+    def _ensure_retransmit_timer(self, qp_number: int) -> None:
+        if qp_number in self._retransmit_running:
+            return
+        self._retransmit_running.add(qp_number)
+        self.sim.process(self._retransmit_loop(qp_number))
+
+    def _retransmit_loop(self, qp_number: int):
+        state = self.tables.get(qp_number)
+        while state.inflight:
+            yield self.sim.timeout(self.retransmit_timeout_us)
+            oldest = state.oldest_unacked()
+            if oldest is None:
+                break
+            age = self.sim.now - oldest.first_sent_at
+            if age + 1e-9 < self.retransmit_timeout_us:
+                continue
+            if oldest.retries >= self.max_retries:
+                self._fail_send(qp_number, oldest.psn, "retry limit exceeded")
+                state.inflight.popleft()
+                if self._tx_backlog.get(qp_number):
+                    self._pump_tx(qp_number)
+                continue
+            # Go-back-N: resend every unacknowledged packet in order.
+            emit(self.sim, "roce.retransmit",
+                 f"timeout qp={qp_number}", inflight=len(state.inflight),
+                 node=self.ip)
+            for entry in list(state.inflight):
+                entry.retries += 1
+                state.retransmissions += 1
+                self.mac.transmit(entry.packet)
+        self._retransmit_running.discard(qp_number)
+
+    def _fail_send(self, qp_number: int, psn: int, reason: str) -> None:
+        completion = self._send_completions.pop((qp_number, psn), None)
+        if completion is not None and not completion.triggered:
+            completion.fail(TransportError(f"send psn={psn} failed: {reason}"))
+
+    # ------------------------------------------------------------------
+    # Reception path
+    # ------------------------------------------------------------------
+    def _rx_loop(self):
+        while True:
+            packet: Packet = yield self.mac.rx_queue.get()
+            if packet.ip.dst_ip != self.ip:
+                continue  # not ours (promiscuous fabric delivery)
+            if packet.bth.opcode in (RdmaOpcode.ACK, RdmaOpcode.NAK):
+                self._handle_ack(packet)
+            else:
+                self._handle_data(packet)
+
+    def _handle_ack(self, packet: Packet) -> None:
+        qp_number = packet.bth.dest_qp
+        if qp_number not in self.tables:
+            return
+        state = self.tables.get(qp_number)
+        if packet.bth.opcode is RdmaOpcode.NAK:
+            # Receiver is missing packets: retransmit immediately.
+            for entry in list(state.inflight):
+                entry.retries += 1
+                state.retransmissions += 1
+                self.mac.transmit(entry.packet)
+            return
+        acked_psn = packet.bth.psn
+        state.ack_through(acked_psn)
+        if self._tx_backlog.get(qp_number):
+            self._pump_tx(qp_number)  # ACKs opened window space
+        for (qp_n, psn), completion in list(self._send_completions.items()):
+            if qp_n == qp_number and psn <= acked_psn and not completion.triggered:
+                entry = CompletionEntry(
+                    qp_number=qp_number,
+                    msn=packet.meta.get("msn", psn),
+                    opcode="send",
+                    ok=True,
+                )
+                completion.succeed(entry)
+                del self._send_completions[(qp_n, psn)]
+
+    def _handle_data(self, packet: Packet) -> None:
+        qp_number = packet.bth.dest_qp
+        if qp_number not in self.tables:
+            return
+        qp = self._qp(qp_number)
+        state = self.tables.get(qp_number)
+        psn = packet.bth.psn
+        lane = self._rx_lane(qp_number)
+
+        if psn < lane.next_arrival_psn:
+            # Duplicate of an already-accepted packet: re-ACK, drop.
+            state.duplicates_dropped += 1
+            if state.expected_recv_psn > 0:
+                self._send_ack(qp, state.expected_recv_psn - 1, state.next_recv_msn)
+            return
+        if psn > lane.next_arrival_psn:
+            # Gap: go-back-N, ask the sender to rewind.
+            state.out_of_order_dropped += 1
+            self._send_nak(qp)
+            return
+
+        lane.next_arrival_psn += 1
+        lane.store.put((lane.epoch, packet))
+
+    def _rx_lane(self, qp_number: int) -> "_RxLane":
+        lane = self._rx_lanes.get(qp_number)
+        if lane is None:
+            lane = _RxLane(store=Store(self.sim))
+            self._rx_lanes[qp_number] = lane
+            self.sim.process(self._delivery_loop(qp_number, lane))
+        return lane
+
+    def _delivery_loop(self, qp_number: int, lane: "_RxLane"):
+        """Verify accepted packets sequentially and deliver in order.
+
+        Multi-packet messages (SEND First/Middle/Last) are reassembled
+        here: non-final segments accumulate in the lane, and PSN-window
+        advancement, verification, ACK and host delivery all happen at
+        the final segment, covering the whole message — so a failed
+        verification rewinds to the message's *first* PSN and go-back-N
+        re-supplies the entire message.
+        """
+        qp = self._qp(qp_number)
+        state = self.tables.get(qp_number)
+        while True:
+            epoch, packet = yield lane.store.get()
+            if epoch != lane.epoch:
+                continue  # stale: accepted before a verification failure
+            segments = packet.meta.get("segments", 1)
+            if segments > 1:
+                seg_index = packet.meta["seg_index"]
+                if seg_index != len(lane.partial):
+                    # Mid-message corruption of the segment sequence.
+                    self._reject(qp, state, lane)
+                    continue
+                lane.partial.append(packet.payload)
+                if seg_index < segments - 1:
+                    continue  # await the remaining segments
+                payload = b"".join(lane.partial)
+                lane.partial = []
+            else:
+                if lane.partial:
+                    # A single-packet message arrived mid-reassembly.
+                    self._reject(qp, state, lane)
+                    continue
+                payload = packet.payload
+            if packet.trailer is None or self.attestation is None:
+                self._deliver(qp, state, packet, payload=payload,
+                              psn_span=segments)
+                continue
+            trailer = packet.trailer
+            message = AttestedMessage(
+                payload=payload,
+                alpha=trailer.alpha,
+                session_id=trailer.session_id,
+                device_id=trailer.device_id,
+                counter=trailer.send_cnt,
+            )
+            try:
+                verified = yield self.attestation.verify_event(
+                    qp.session_id, message
+                )
+            except AttestationError:
+                # Forged/tampered/replayed: do not advance the window.
+                self.verification_failures += 1
+                self._reject(qp, state, lane)
+                continue
+            self._deliver(qp, state, packet, payload=verified,
+                          message=message, psn_span=segments)
+
+    def _reject(self, qp: QueuePair, state, lane: "_RxLane") -> None:
+        """Rewind the arrival cursor to the delivered watermark and
+        invalidate queued packets; a correct sender's go-back-N
+        retransmission will re-supply the genuine sequence."""
+        emit(self.sim, "roce.reject",
+             f"qp={qp.qp_number} rewind to psn={state.expected_recv_psn}",
+             node=self.ip)
+        lane.epoch += 1
+        lane.partial = []
+        lane.next_arrival_psn = state.expected_recv_psn
+        self._send_nak(qp)
+
+    def _deliver(
+        self,
+        qp: QueuePair,
+        state,
+        packet: Packet,
+        payload: bytes,
+        message: AttestedMessage | None = None,
+        psn_span: int = 1,
+    ) -> None:
+        state.expected_recv_psn += psn_span
+        msn = state.next_recv_msn
+        state.next_recv_msn += 1
+        state.receive_queue.append(
+            {
+                "payload": payload,
+                "message": message,
+                "opcode": packet.bth.opcode,
+                "meta": dict(packet.meta),
+                "msn": msn,
+            }
+        )
+        state.completion_queue.append(
+            CompletionEntry(
+                qp_number=qp.qp_number,
+                msn=msn,
+                opcode=packet.bth.opcode.value,
+                ok=True,
+            )
+        )
+        emit(self.sim, "roce.rx",
+             f"delivered qp={qp.qp_number} msn={msn} {len(payload)}B",
+             node=self.ip)
+        self._send_ack(qp, packet.bth.psn, msn)
+        if self.deliver_hook is not None:
+            self.deliver_hook(qp, state)
+
+    # ------------------------------------------------------------------
+    # Control packets
+    # ------------------------------------------------------------------
+    def _control_packet(self, qp: QueuePair, opcode: RdmaOpcode, psn: int, msn: int) -> Packet:
+        dst_mac = self.arp.lookup(qp.remote_ip)
+        return Packet(
+            eth=EthernetHeader(src_mac=self.mac.address, dst_mac=dst_mac),
+            ip=Ipv4Header(src_ip=qp.local_ip, dst_ip=qp.remote_ip),
+            udp=UdpHeader(src_port=qp.local_port, dst_port=qp.remote_port),
+            bth=IbTransportHeader(
+                opcode=opcode, dest_qp=qp.remote_qp_number, psn=psn, ack_req=False
+            ),
+            meta={"msn": msn},
+        )
+
+    def _send_ack(self, qp: QueuePair, psn: int, msn: int) -> None:
+        self.mac.transmit(self._control_packet(qp, RdmaOpcode.ACK, psn, msn))
+
+    def _send_nak(self, qp: QueuePair) -> None:
+        state = self.tables.get(qp.qp_number)
+        self.mac.transmit(
+            self._control_packet(qp, RdmaOpcode.NAK, state.expected_recv_psn, 0)
+        )

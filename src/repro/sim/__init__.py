@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate.
+
+Every performance number in this reproduction is measured in *virtual
+time* produced by this simulator, so results are deterministic and
+independent of the host machine.  The kernel is a small generator-based
+process simulator in the style of SimPy:
+
+* :class:`~repro.sim.clock.Simulator` — the event loop and virtual clock.
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timeout` —
+  awaitable occurrences; processes ``yield`` them.
+* :class:`~repro.sim.process.Process` — a generator running in virtual
+  time.
+* :mod:`~repro.sim.resources` — mutexes, FIFO stores and bandwidth pipes.
+* :mod:`~repro.sim.latency` — the single calibration table holding every
+  measured constant from the paper's evaluation (§8).
+"""
+
+from repro.sim.clock import Simulator
+from repro.sim.events import AnyOf, AllOf, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Pipe, Resource, Store
+from repro.sim.rng import DeterministicRng
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DeterministicRng",
+    "Event",
+    "Interrupt",
+    "Pipe",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,131 @@
+"""The virtual clock and event loop.
+
+:class:`Simulator` owns a priority queue of `(time, tiebreak, event)`
+entries and advances virtual time by popping the earliest entry and
+running its callbacks.  All timing in this repository — HMAC pipeline
+delays, PCIe DMA transfers, wire propagation, TEE call overheads — is
+expressed as :class:`~repro.sim.events.Timeout` events on one simulator,
+so measurements are exactly reproducible.
+
+Time unit: **microseconds** throughout the repository, matching the
+paper's reporting unit (µs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Discrete-event simulation kernel with a microsecond virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._tiebreak = count()
+        #: Optional structured tracer (see :mod:`repro.sim.trace`).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers *delay* µs from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new process running *generator* in virtual time."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event triggering on the first of *events*."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event triggering once all *events* triggered."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals (used by Event/Timeout)
+    # ------------------------------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        if when < self._now:
+            raise ValueError(f"cannot schedule into the past: {when} < {self._now}")
+        heapq.heappush(self._queue, (when, next(self._tiebreak), event))
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        heapq.heappush(self._queue, (self._now, next(self._tiebreak), event))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single earliest scheduled event."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the event loop.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until virtual time reaches that instant.
+        * ``until=<Event>`` — run until that event is processed and return
+          its value (raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                self.step()
+            return sentinel.value
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError("run(until=...) is in the past")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def delayed_call(self, delay: float, fn: Callable[[], Any]) -> Timeout:
+        """Invoke *fn* after *delay* µs of virtual time."""
+        timeout = self.timeout(delay)
+        timeout.callbacks.append(lambda _event: fn())
+        return timeout

@@ -1,0 +1,158 @@
+"""Awaitable events for the discrete-event simulator.
+
+An :class:`Event` is a one-shot occurrence.  Simulation processes wait on
+events by ``yield``-ing them; when the event triggers, the process is
+resumed with the event's value (or the event's exception is thrown into
+it).  This mirrors the SimPy programming model, which keeps protocol code
+(retransmission timers, RPC waits, quorum collection) readable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.clock import Simulator
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` triggers them
+    exactly once.  Callbacks registered before the trigger run when the
+    event is processed by the event loop.
+    """
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._state = Event.PENDING
+        self._value: Any = None
+        self._exception: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has an outcome (value or exception)."""
+        return self._state != Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event loop has run this event's callbacks."""
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if the event failed or is pending."""
+        if not self.triggered:
+            raise RuntimeError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._state = Event.TRIGGERED
+        self._value = value
+        self.sim._enqueue_triggered(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = Event.TRIGGERED
+        self._exception = exception
+        self.sim._enqueue_triggered(self)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._state = Event.PROCESSED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed virtual-time delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._state = Event.TRIGGERED
+        self._value = value
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        # A Timeout is "triggered" from construction but only *occurs*
+        # when processed; conditions therefore key off `processed`.
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.processed and e.ok}
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of the given events occurs."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)  # type: ignore[arg-type]
+        else:
+            self.succeed(self._results())
+
+
+class AllOf(_Condition):
+    """Triggers once every given event has occurred."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)  # type: ignore[arg-type]
+            return
+        if all(e.processed for e in self.events):
+            self.succeed(self._results())

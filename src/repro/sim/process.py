@@ -1,0 +1,91 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: each value the generator
+yields must be an :class:`~repro.sim.events.Event`; the process sleeps
+until that event triggers and is then resumed with the event's value.
+A process is itself an event that triggers when the generator returns,
+so processes can wait on each other (fork/join)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import Simulator
+
+
+class Process(Event):
+    """A running simulation process; also an event for its completion."""
+
+    def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget a 'yield' in the process function?"
+            )
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick off on a zero-delay event so process start is itself an
+        # event-loop step (keeps causality when processes spawn processes).
+        bootstrap = sim.timeout(0.0)
+        bootstrap.callbacks.append(self._resume)
+        self._target = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a finished process")
+        target = self._target
+        if target is not None and not target.processed:
+            # Detach from the event we were waiting for.
+            if self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        interruption = self.sim.event()
+        interruption.fail(Interrupt(cause))
+        interruption.callbacks.append(self._resume)
+        self._target = interruption
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._exception is not None:
+                next_event = self._generator.throw(event._exception)
+            else:
+                next_event = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process with failure.
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            error = TypeError(
+                f"process yielded {type(next_event).__name__}, expected an Event"
+            )
+            self._generator.close()
+            self.fail(error)
+            return
+        if next_event.processed:
+            # Already done: resume on the next loop iteration with its value.
+            immediate = self.sim.timeout(0.0, next_event._value)
+            if next_event._exception is not None:
+                immediate = self.sim.event()
+                immediate.fail(next_event._exception)
+            immediate.callbacks.append(self._resume)
+            self._target = immediate
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event

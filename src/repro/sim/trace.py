@@ -1,0 +1,88 @@
+"""Structured event tracing for simulations.
+
+Attach a :class:`Tracer` to a :class:`~repro.sim.clock.Simulator`
+(``sim.tracer = Tracer()``) and instrumented components — the RoCE
+kernel, the attestation kernel, the fabric — emit timestamped,
+categorised records.  Tracing is off by default and costs one attribute
+check per event when disabled.
+
+Categories use dotted names (``roce.tx``, ``attest.reject`` ...); a
+tracer can be restricted to a prefix set.  The buffer is bounded so
+long simulations cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time_us: float
+    category: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        text = f"[{self.time_us:12.2f}us] {self.category:16s} {self.message}"
+        return f"{text} {extra}".rstrip()
+
+
+class Tracer:
+    """Bounded, filterable trace buffer."""
+
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        categories: tuple[str, ...] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.categories = categories
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.emitted = 0
+
+    def wants(self, category: str) -> bool:
+        if self.categories is None:
+            return True
+        return any(category.startswith(prefix) for prefix in self.categories)
+
+    def record(
+        self, time_us: float, category: str, message: str, **fields: Any
+    ) -> None:
+        if not self.wants(category):
+            self.dropped += 1
+            return
+        self.emitted += 1
+        self._records.append(TraceRecord(time_us, category, message, fields))
+
+    # ------------------------------------------------------------------
+    def records(self, category_prefix: str | None = None) -> list[TraceRecord]:
+        if category_prefix is None:
+            return list(self._records)
+        return [
+            r for r in self._records if r.category.startswith(category_prefix)
+        ]
+
+    def render(self, category_prefix: str | None = None) -> str:
+        return "\n".join(r.render() for r in self.records(category_prefix))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+def emit(sim, category: str, message: str, **fields: Any) -> None:
+    """Emit a trace record if *sim* has a tracer attached (else no-op)."""
+    tracer = getattr(sim, "tracer", None)
+    if tracer is not None:
+        tracer.record(sim.now, category, message, **fields)

@@ -1,0 +1,172 @@
+"""The network (RDMA) library (§5.2).
+
+"includes all the logic and data (e.g., Tx/Rx queues per connection,
+local and remote memory addresses, RDMA keys that denote memory access
+permissions) required to implement the RDMA protocol. It executes the
+application's networking operations by posting the requests to the
+hardware. More specifically, it creates an internal representation of
+the request and the associated data and metadata (i.e., request
+opcode, remote IP, source/destination addresses, data length, etc.)
+and writes them into specific offsets in the REGs pages to update the
+control registers of the TNIC hardware."
+
+The library holds the TNIC-process lock while programming the control
+registers, rings the doorbell, and the device picks the request up —
+zero payload copies: the hardware DMA-reads straight from ibv memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.device import TnicDevice
+from repro.net.packet import RdmaOpcode
+from repro.stack.memory import IbvMemory, MemoryError_, RdmaKey
+from repro.stack.process import TnicProcess
+from repro.stack.regs import RegField
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import Simulator
+    from repro.sim.events import Event
+
+_OPCODE_CODES = {
+    RdmaOpcode.SEND: 1,
+    RdmaOpcode.WRITE: 2,
+    RdmaOpcode.READ_REQUEST: 3,
+}
+
+
+@dataclass
+class WorkRequest:
+    """Internal representation of one posted operation."""
+
+    opcode: RdmaOpcode
+    qp_number: int
+    local_addr: int
+    length: int
+    remote_addr: int = 0
+    rkey: RdmaKey | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class MemoryTable:
+    """The device-visible view over every registered ibv region.
+
+    Routes DMA accesses to the containing region, exactly like the
+    NIC's memory-translation table does for registered buffers.
+    """
+
+    def __init__(self) -> None:
+        self._regions: dict[int, IbvMemory] = {}
+
+    def add(self, region: IbvMemory) -> None:
+        self._regions[region.lkey.value] = region
+
+    def region_for(self, address: int, length: int) -> IbvMemory:
+        for region in self._regions.values():
+            if region.contains(address, length):
+                return region
+        raise MemoryError_(
+            f"address {address:#x} (+{length}) is not in registered ibv memory"
+        )
+
+    def dma_write(self, address: int, data: bytes) -> None:
+        self.region_for(address, len(data)).dma_write(address, data)
+
+    def dma_read(self, address: int, length: int) -> bytes:
+        return self.region_for(address, length).dma_read(address, length)
+
+
+class RdmaLibrary:
+    """Per-node RDMA software state and the request-posting path."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        device: TnicDevice,
+        process: TnicProcess,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.process = process
+        self.memory_table = MemoryTable()
+        self.device.attach_host_memory(self.memory_table)
+        #: Tx/Rx bookkeeping per QP number.
+        self.tx_posted: dict[int, int] = {}
+        self.rx_delivered: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Memory registration (init_lqueue)
+    # ------------------------------------------------------------------
+    def register_memory(self, region: IbvMemory) -> None:
+        """Register *region* with the TNIC hardware for DMA."""
+        region.register()
+        self.memory_table.add(region)
+
+    def region_for_address(self, address: int, length: int) -> IbvMemory:
+        return self.memory_table.region_for(address, length)
+
+    # ------------------------------------------------------------------
+    # Posting requests
+    # ------------------------------------------------------------------
+    def post(self, request: WorkRequest) -> "Event":
+        """Program the REGs page and ring the doorbell; returns the
+        completion event for the posted operation."""
+        done = self.sim.event()
+        self.sim.process(self._post_locked(request, done))
+        return done
+
+    def _post_locked(self, request: WorkRequest, done: "Event"):
+        yield self.process.exclusive_regs()
+        try:
+            payload = self.region_for_address(
+                request.local_addr, request.length
+            ).dma_read(request.local_addr, request.length)
+            regs = self.process.regs
+            regs.write_u64(RegField.CTRL_OPCODE, _OPCODE_CODES[request.opcode])
+            regs.write_u64(RegField.CTRL_QP_NUMBER, request.qp_number)
+            regs.write_u64(RegField.CTRL_LOCAL_ADDR, request.local_addr)
+            regs.write_u64(RegField.CTRL_REMOTE_ADDR, request.remote_addr)
+            regs.write_u64(RegField.CTRL_LENGTH, request.length)
+            regs.write_u64(
+                RegField.CTRL_RKEY, request.rkey.value if request.rkey else 0
+            )
+            regs.write_u64(RegField.CTRL_DOORBELL, 1)
+            meta = dict(request.meta)
+            if request.opcode is RdmaOpcode.WRITE:
+                meta["remote_addr"] = request.remote_addr
+                if request.rkey is not None:
+                    meta["rkey"] = request.rkey.value
+            completion_event = self.device.send(
+                request.qp_number, payload, opcode=request.opcode, meta=meta
+            )
+        except Exception as exc:
+            self.process.release_regs()
+            done.fail(exc)
+            return
+        self.process.release_regs()
+        self.tx_posted[request.qp_number] = self.tx_posted.get(request.qp_number, 0) + 1
+        try:
+            completion = yield completion_event
+        except Exception as exc:
+            done.fail(exc)
+            return
+        self.process.regs.post_status(completions=1)
+        done.succeed(completion)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def poll(self, qp_number: int, max_entries: int = 16):
+        """Fetch verified completions for *qp_number* (the poll() API)."""
+        entries = self.device.poll(qp_number, max_entries)
+        if entries:
+            self.rx_delivered[qp_number] = (
+                self.rx_delivered.get(qp_number, 0) + len(entries)
+            )
+        return entries
+
+    def receive(self, qp_number: int):
+        """Pop the next verified message body, if any."""
+        return self.device.receive(qp_number)

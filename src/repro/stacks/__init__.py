@@ -1,0 +1,42 @@
+"""Baseline network stacks of the §8.2 comparison (Figures 8-9).
+
+Five stacks with different security properties:
+
+* ``RDMA-hw`` — the untrusted RoCE protocol on FPGAs (Coyote-based).
+* ``DRCT-IO`` — untrusted software kernel-bypass stack (eRPC on DPDK).
+* ``DRCT-IO-att`` — DRCT-IO sending SGX-attested messages (no verify).
+* ``TNIC-att`` — TNIC sending attested messages without verification.
+* ``TNIC`` — the full trusted stack (attest + verify).
+
+Each stack is a distinct code path with a one-way latency model and a
+bottleneck-occupancy model; throughput experiments pipeline operations
+through the bottleneck, latency experiments issue one at a time —
+matching the paper's methodology ("for the latency measurement, the
+client sends one operation at a time, whereas for the throughput
+measurement, one client can have multiple outstanding operations").
+"""
+
+from repro.stacks.base import NetworkStack, StackMeasurement, measure_latency, measure_throughput
+from repro.stacks.variants import (
+    ALL_STACKS,
+    DrctIoAttStack,
+    DrctIoStack,
+    RdmaHwStack,
+    TnicAttStack,
+    TnicStack,
+    make_stack,
+)
+
+__all__ = [
+    "ALL_STACKS",
+    "DrctIoAttStack",
+    "DrctIoStack",
+    "NetworkStack",
+    "RdmaHwStack",
+    "StackMeasurement",
+    "TnicAttStack",
+    "TnicStack",
+    "make_stack",
+    "measure_latency",
+    "measure_throughput",
+]

@@ -1,0 +1,147 @@
+"""Common machinery for network-stack models.
+
+A stack model has two numbers per message size:
+
+* :meth:`NetworkStack.send_latency_us` — one-way latency seen by a
+  ping-pong client (Figure 9).
+* :meth:`NetworkStack.occupancy_us` — how long the stack's bottleneck
+  stage (CPU core, HMAC pipeline, DMA/wire) is held per message; with
+  multiple outstanding operations this determines throughput
+  (Figure 8).
+
+:func:`measure_latency` and :func:`measure_throughput` run the actual
+client/server simulation and report virtual-time results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.clock import Simulator
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+
+class NetworkStack:
+    """One network stack endpoint pair (client + server)."""
+
+    name = "abstract"
+    trusted = False
+    verifies = False
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._bottleneck = Resource(sim, capacity=1)
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Models (per variant)
+    # ------------------------------------------------------------------
+    def send_latency_us(self, size_bytes: int) -> float:
+        """One-way send latency for a message of *size_bytes*."""
+        raise NotImplementedError
+
+    def occupancy_us(self, size_bytes: int) -> float:
+        """Bottleneck-stage holding time per message."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def send(self, size_bytes: int) -> "Event":
+        """Issue one send; the event triggers at delivery time."""
+        if size_bytes < 0:
+            raise ValueError("size must be >= 0")
+        done = self.sim.event()
+        self.sim.process(self._send_process(size_bytes, done))
+        return done
+
+    def _send_process(self, size_bytes: int, done: "Event"):
+        yield self._bottleneck.acquire()
+        occupancy = self.occupancy_us(size_bytes)
+        try:
+            yield self.sim.timeout(occupancy)
+        finally:
+            self._bottleneck.release()
+        residual = max(self.send_latency_us(size_bytes) - occupancy, 0.0)
+        yield self.sim.timeout(residual)
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        done.succeed(size_bytes)
+
+
+@dataclass(frozen=True)
+class StackMeasurement:
+    """Result of one latency or throughput experiment."""
+
+    stack: str
+    size_bytes: int
+    latency_us: float
+    throughput_ops: float  # operations per second
+    throughput_gbps: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.stack:12s} {self.size_bytes:>7d}B "
+            f"lat={self.latency_us:8.1f}us "
+            f"thr={self.throughput_ops:12.0f} op/s "
+            f"({self.throughput_gbps:6.2f} Gb/s)"
+        )
+
+
+def measure_latency(
+    stack_cls, size_bytes: int, operations: int = 200
+) -> StackMeasurement:
+    """Ping-pong latency: one operation at a time (Figure 9)."""
+    sim = Simulator()
+    stack = stack_cls(sim)
+
+    def client():
+        for _ in range(operations):
+            yield stack.send(size_bytes)
+
+    start = sim.now
+    sim.run(sim.process(client()))
+    elapsed = sim.now - start
+    latency = elapsed / operations
+    return _measurement(stack, size_bytes, latency, operations, elapsed)
+
+
+def measure_throughput(
+    stack_cls, size_bytes: int, operations: int = 2000, outstanding: int = 32
+) -> StackMeasurement:
+    """Pipelined throughput: *outstanding* in-flight operations (Fig 8)."""
+    sim = Simulator()
+    stack = stack_cls(sim)
+    remaining = {"to_issue": operations}
+
+    def client():
+        window: list = []
+        while remaining["to_issue"] > 0 or window:
+            while remaining["to_issue"] > 0 and len(window) < outstanding:
+                window.append(stack.send(size_bytes))
+                remaining["to_issue"] -= 1
+            first = window.pop(0)
+            yield first
+
+    start = sim.now
+    sim.run(sim.process(client()))
+    elapsed = sim.now - start
+    latency = elapsed / operations  # effective per-op time
+    return _measurement(stack, size_bytes, latency, operations, elapsed)
+
+
+def _measurement(stack, size_bytes, latency_us, operations, elapsed_us):
+    ops_per_second = operations / (elapsed_us / 1e6) if elapsed_us else 0.0
+    gbps = ops_per_second * size_bytes * 8 / 1e9
+    return StackMeasurement(
+        stack=stack.name,
+        size_bytes=size_bytes,
+        latency_us=latency_us,
+        throughput_ops=ops_per_second,
+        throughput_gbps=gbps,
+    )

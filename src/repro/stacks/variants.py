@@ -1,0 +1,121 @@
+"""The five compared network stacks (§8.2).
+
+Latency formulas live in :mod:`repro.sim.latency`; each class here adds
+the bottleneck-occupancy model that drives throughput:
+
+* RDMA-hw's bottleneck is the DMA/wire path (bytes / bandwidth).
+* DRCT-IO's bottleneck is the CPU core running the eRPC event loop —
+  cheap per packet inside the zero-copy regime, plus a memcpy beyond it.
+* TNIC's bottleneck is the byte-serial HMAC pipeline.
+* DRCT-IO-att's bottleneck is the SGX attestation server.
+"""
+
+from __future__ import annotations
+
+from repro.sim import latency as cal
+from repro.stacks.base import NetworkStack
+
+#: eRPC-style per-packet CPU cost of the DRCT-IO event loop.
+_DRCT_IO_CPU_PER_PACKET_US = 1.1
+#: Software memcpy bandwidth once zero-copy no longer applies.
+_MEMCPY_BYTES_PER_US = 3000.0
+#: Per-packet DMA engine overhead on the FPGA path.
+_RDMA_HW_PER_PACKET_US = 0.35
+
+
+class RdmaHwStack(NetworkStack):
+    """Untrusted RoCE on FPGAs (Coyote)."""
+
+    name = "RDMA-hw"
+    trusted = False
+    verifies = False
+
+    def send_latency_us(self, size_bytes: int) -> float:
+        return cal.rdma_hw_send_us(size_bytes)
+
+    def occupancy_us(self, size_bytes: int) -> float:
+        return _RDMA_HW_PER_PACKET_US + size_bytes / cal.WIRE_BANDWIDTH_BYTES_PER_US
+
+
+class DrctIoStack(NetworkStack):
+    """Untrusted software kernel-bypass stack (eRPC over DPDK)."""
+
+    name = "DRCT-IO"
+    trusted = False
+    verifies = False
+
+    def send_latency_us(self, size_bytes: int) -> float:
+        return cal.drct_io_send_us(size_bytes)
+
+    def occupancy_us(self, size_bytes: int) -> float:
+        occupancy = _DRCT_IO_CPU_PER_PACKET_US
+        if size_bytes > cal.DRCT_IO_ZEROCOPY_LIMIT_BYTES:
+            # Zero-copy is "only effective for up to 1460B"; larger
+            # messages are copied and fragmented by the CPU.
+            occupancy += size_bytes / _MEMCPY_BYTES_PER_US
+        return occupancy
+
+
+class DrctIoAttStack(NetworkStack):
+    """DRCT-IO that sends SGX-attested messages (does not verify)."""
+
+    name = "DRCT-IO-att"
+    trusted = True
+    verifies = False
+
+    def send_latency_us(self, size_bytes: int) -> float:
+        return cal.drct_io_att_send_us(size_bytes)
+
+    def occupancy_us(self, size_bytes: int) -> float:
+        base = DrctIoStack.occupancy_us(self, size_bytes)
+        # Every message passes through the single SGX attestation server.
+        attest = cal.DRCT_IO_ATT_EXTRA_US
+        if size_bytes > cal.DRCT_IO_ATT_COLLAPSE_BYTES:
+            attest = cal.DRCT_IO_ATT_COLLAPSE_US
+        return base + attest
+
+
+class TnicAttStack(NetworkStack):
+    """TNIC sending attested messages without receiver verification."""
+
+    name = "TNIC-att"
+    trusted = True
+    verifies = False
+
+    def send_latency_us(self, size_bytes: int) -> float:
+        return cal.tnic_att_send_us(size_bytes)
+
+    def occupancy_us(self, size_bytes: int) -> float:
+        return cal.TNIC_ATT_HMAC_SHARE * cal.tnic_path_hmac_us(size_bytes)
+
+
+class TnicStack(NetworkStack):
+    """The full trusted TNIC stack (attest at TX, verify at RX)."""
+
+    name = "TNIC"
+    trusted = True
+    verifies = True
+
+    def send_latency_us(self, size_bytes: int) -> float:
+        return cal.tnic_send_us(size_bytes)
+
+    def occupancy_us(self, size_bytes: int) -> float:
+        # The sender-side pipeline is held for the attest pass only;
+        # the receiver's verify pass runs on the peer's pipeline.
+        return 0.5 * cal.tnic_path_hmac_us(size_bytes)
+
+
+ALL_STACKS = {
+    stack.name: stack
+    for stack in (RdmaHwStack, DrctIoStack, DrctIoAttStack, TnicAttStack, TnicStack)
+}
+
+
+def make_stack(name: str, sim) -> NetworkStack:
+    """Instantiate a stack model by its figure label."""
+    try:
+        return ALL_STACKS[name](sim)
+    except KeyError:
+        raise ValueError(
+            f"unknown stack {name!r}; expected one of {sorted(ALL_STACKS)}"
+        ) from None

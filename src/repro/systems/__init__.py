@@ -1,0 +1,36 @@
+"""Trustworthy distributed systems built with TNIC (§7, Appendix C).
+
+Four Byzantine-model systems — the paper's demonstration that the two
+TNIC properties suffice to transform CFT designs:
+
+* :mod:`~repro.systems.a2m` — Attested Append-Only Memory (Algorithm 2).
+* :mod:`~repro.systems.bft` — a BFT replicated counter with N = 2f+1
+  (Algorithm 3).
+* :mod:`~repro.systems.chain` — Byzantine Chain Replication over a
+  key-value store (Algorithm 4).
+* :mod:`~repro.systems.peer_review` — PeerReview-style accountability
+  with witness audits (Algorithm 5).
+
+Plus the TEE-hosted CFT baselines of §8.3 (Table 4):
+
+* :mod:`~repro.systems.raft` — TEEs-Raft (failure-free Raft, whole
+  protocol inside the TEE).
+* :mod:`~repro.systems.cr_cft` — TEEs-CR (CFT chain replication inside
+  the TEE).
+
+Every system is written against the
+:class:`~repro.tee.base.AttestationProvider` interface and evaluated
+across all five providers, reproducing the §8.3 methodology.
+"""
+
+from repro.systems.common import (
+    BroadcastAuthenticator,
+    EmulatedNetwork,
+    SystemMetrics,
+)
+
+__all__ = [
+    "BroadcastAuthenticator",
+    "EmulatedNetwork",
+    "SystemMetrics",
+]

@@ -1,0 +1,434 @@
+"""BFT replicated counter over TNIC (§7, Appendix C.3, Algorithm 3).
+
+A leader-based SMR protocol for N = 2f+1 replicas (instead of the
+classical 3f+1): the leader executes client increments, attests a
+proof-of-execution (PoE) binding the request to its output, and
+broadcasts it.  Followers verify the PoE (transferable authentication +
+per-sender counters), *simulate* the leader's action to validate the
+claimed output, apply it, attest their own PoE and reply to the client.
+The client commits on f+1 identical replies.
+
+Byzantine behaviours (equivocation, wrong output, replay) are injectable
+on any replica; the protocol's checks expose them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attestation import AttestedMessage
+from repro.sim.clock import Simulator
+from repro.systems.common import (
+    BroadcastAuthenticator,
+    EmulatedNetwork,
+    EquivocationDetected,
+    SystemMetrics,
+    install_shared_sessions,
+)
+from repro.tee.base import AttestationProvider
+from repro.tee.providers import make_provider
+
+# ---------------------------------------------------------------------------
+# Wire messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    kind = "request"
+    batch_id: int
+    increments: int  # batching factor: increments carried per message
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """A client read of the counter, answered by every replica; the
+    client trusts the value on f+1 identical replies."""
+
+    kind = "read"
+    read_id: int
+
+
+@dataclass(frozen=True)
+class ProofOfExecution:
+    kind = "poe"
+    sender: str
+    attested: AttestedMessage  # payload encodes (batch_id, increments, output)
+
+
+@dataclass(frozen=True)
+class Reply:
+    kind = "reply"
+    sender: str
+    batch_id: int
+    output: int
+
+
+#: "We implement network batching as part of the application's message
+#: format": each batched request contributes its marshalled bytes to
+#: the PoE payload, so attestation cost grows with the batch.  An
+#: increment request is small — an op code plus client metadata.
+REQUEST_BYTES = 32
+
+
+def _encode_poe(batch_id: int, increments: int, output: int) -> bytes:
+    header = f"{batch_id}|{increments}|{output}|"
+    return header.encode() + b"R" * (increments * REQUEST_BYTES)
+
+
+def _decode_poe(payload: bytes) -> tuple[int, int, int]:
+    batch_id, increments, output = payload.decode().split("|")[:3]
+    return int(batch_id), int(increments), int(output)
+
+
+@dataclass
+class ByzantineBehaviour:
+    """Faults a replica can be configured to exhibit."""
+
+    equivocate: bool = False
+    wrong_output: bool = False
+    replay: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Replicas
+# ---------------------------------------------------------------------------
+
+
+class _Replica:
+    """One BFT replica (leader or follower)."""
+
+    def __init__(
+        self,
+        name: str,
+        system: "BftCounter",
+        provider: AttestationProvider,
+        behaviour: ByzantineBehaviour | None = None,
+    ) -> None:
+        self.name = name
+        self.system = system
+        self.provider = provider
+        self.behaviour = behaviour or ByzantineBehaviour()
+        self.counter = 0
+        self.applied_batches: set[int] = set()
+        #: Simulated leader state: the counter value the leader *should*
+        #: have ("each replica maintains copies of counters that
+        #: represent the expected counter values for all other nodes").
+        self.simulated: dict[str, int] = {}
+        self.detected_faults: list[str] = []
+        self.authenticators: dict[str, BroadcastAuthenticator] = {}
+        self.inbox = system.network.register(name)
+        self.acks_per_batch: dict[int, set[str]] = {}
+        self._last_attested: AttestedMessage | None = None
+
+    def authenticator_for(self, sender: str) -> BroadcastAuthenticator:
+        if sender not in self.authenticators:
+            self.authenticators[sender] = BroadcastAuthenticator(
+                self.provider, self.system.session_ids[sender]
+            )
+        return self.authenticators[sender]
+
+    # ------------------------------------------------------------------
+    # Leader role (Algorithm 3, leader())
+    # ------------------------------------------------------------------
+    def _answer_read(self, request: "ReadRequest"):
+        """Reply to a quorum read, charging one C_priv signature
+        (Appendix C.1 — replies to clients are device-signed, not
+        session-attested, so no session counter is consumed)."""
+        yield self.system.sim.timeout(self.provider.attest_latency_us(32))
+        self.system.network.send(
+            self.system.client_name,
+            Reply(self.name, -request.read_id - 1, self.counter),
+        )
+
+    def run_leader(self):
+        while True:
+            request = yield self.inbox.get()
+            if isinstance(request, ProofOfExecution):
+                yield from self._leader_handle_ack(request)
+                continue
+            if isinstance(request, ReadRequest):
+                yield from self._answer_read(request)
+                continue
+            if not isinstance(request, ClientRequest):
+                continue
+            output = self.counter + request.increments
+            if not self.behaviour.wrong_output:
+                self.counter = output
+            else:
+                self.counter = output + 7  # deviate from the specification
+            payload = _encode_poe(
+                request.batch_id, request.increments, self.counter
+            )
+            if self.behaviour.replay and self._last_attested is not None:
+                # Re-send a stale but valid attested message.
+                self.system.broadcast_poe(self.name, self._last_attested)
+                continue
+            if self.behaviour.equivocate:
+                # Different statements to different followers: each gets
+                # its own attestation, hence its own counter value.
+                for offset, follower in enumerate(self.system.followers, 1):
+                    forked = _encode_poe(
+                        request.batch_id, request.increments,
+                        self.counter + offset,
+                    )
+                    attested = yield self.provider.attest(
+                        self.system.session_ids[self.name], forked
+                    )
+                    self.system.network.send(
+                        follower, ProofOfExecution(self.name, attested)
+                    )
+                continue
+            attested = yield self.provider.attest(
+                self.system.session_ids[self.name], payload
+            )
+            self._last_attested = attested
+            self.system.broadcast_poe(self.name, attested)
+
+    def _leader_handle_ack(self, message: ProofOfExecution):
+        """validate_follower(): verify the follower's PoE and output,
+        then reply to the client (once per batch)."""
+        auth = self.authenticator_for(message.sender)
+        try:
+            payload = yield auth.verify(message.attested)
+        except EquivocationDetected as exc:
+            self.detected_faults.append(str(exc))
+            return
+        batch_id, increments, output = _decode_poe(payload)
+        expected = self.simulated.get(message.sender, 0) + increments
+        if output != expected:
+            self.detected_faults.append(
+                f"follower {message.sender} output mismatch: "
+                f"claimed {output}, simulated {expected}"
+            )
+            return
+        self.simulated[message.sender] = expected
+        acks = self.acks_per_batch.setdefault(batch_id, set())
+        if message.sender in acks:
+            return
+        acks.add(message.sender)
+        if len(acks) == 1:  # incr_req_acks_if_not_incr_before + single reply
+            self.system.network.send(
+                self.system.client_name, Reply(self.name, batch_id, self.counter)
+            )
+
+    # ------------------------------------------------------------------
+    # Follower role (Algorithm 3, follower())
+    # ------------------------------------------------------------------
+    def run_follower(self):
+        while True:
+            message = yield self.inbox.get()
+            if isinstance(message, ReadRequest):
+                yield from self._answer_read(message)
+                continue
+            if not isinstance(message, ProofOfExecution):
+                continue
+            auth = self.authenticator_for(message.sender)
+            try:
+                payload = yield auth.verify(message.attested)
+            except EquivocationDetected as exc:
+                self.detected_faults.append(str(exc))
+                continue
+            batch_id, increments, output = _decode_poe(payload)
+            # validate_sender: simulate the sender's state transition.
+            expected = self.simulated.get(message.sender, 0) + increments
+            if output != expected:
+                self.detected_faults.append(
+                    f"output mismatch from {message.sender}: "
+                    f"claimed {output}, simulated {expected}"
+                )
+                continue
+            self.simulated[message.sender] = expected
+            if batch_id in self.applied_batches:
+                continue  # in_order_not_applied()
+            self.applied_batches.add(batch_id)
+            self.counter += increments
+            own_payload = _encode_poe(batch_id, increments, self.counter)
+            attested = yield self.provider.attest(
+                self.system.session_ids[self.name], own_payload
+            )
+            poe = ProofOfExecution(self.name, attested)
+            self.system.network.send(self.system.leader_name, poe)
+            # "it forwards the leader's request to every other replica to
+            # ensure that all correct replicas will eventually receive
+            # and apply the same command."
+            for peer in self.system.followers:
+                if peer != self.name:
+                    self.system.network.send(peer, poe)
+            self.system.network.send(
+                self.system.client_name, Reply(self.name, batch_id, self.counter)
+            )
+
+
+# ---------------------------------------------------------------------------
+# The system
+# ---------------------------------------------------------------------------
+
+
+class BftCounter:
+    """N = 2f+1 replicated counter; one leader, 2f followers."""
+
+    def __init__(
+        self,
+        provider_name: str = "tnic",
+        f: int = 1,
+        batch: int = 1,
+        seed: int = 0,
+        behaviours: dict[str, ByzantineBehaviour] | None = None,
+        provider_kwargs: dict | None = None,
+        extra_replicas: int = 0,
+    ) -> None:
+        if f < 1:
+            raise ValueError("f must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if extra_replicas < 0:
+            raise ValueError("extra_replicas must be >= 0")
+        self.sim = Simulator()
+        self.network = EmulatedNetwork(self.sim)
+        self.f = f
+        self.batch = batch
+        self.provider_name = provider_name
+        # extra_replicas lets ablations run the classical 3f+1 budget
+        # (extra_replicas=f) with unchanged quorum size f+1.
+        names = [f"r{i}" for i in range(2 * f + 1 + extra_replicas)]
+        self.leader_name = names[0]
+        self.followers = names[1:]
+        self.client_name = "client"
+        kwargs = provider_kwargs or {}
+        if provider_name == "amd-sev":
+            kwargs.setdefault("lower_bound", True)  # §8.3 uses the 30us bound
+        self.providers: dict[str, AttestationProvider] = {
+            name: make_provider(provider_name, self.sim, i + 1, seed=seed, **kwargs)
+            for i, name in enumerate(names)
+        }
+        self.session_ids = install_shared_sessions(self.providers)
+        behaviours = behaviours or {}
+        self.replicas = {
+            name: _Replica(name, self, self.providers[name],
+                           behaviours.get(name))
+            for name in names
+        }
+        self.client_inbox = self.network.register(self.client_name)
+        self.metrics = SystemMetrics()
+        self.sim.process(self.replicas[self.leader_name].run_leader())
+        for follower in self.followers:
+            self.sim.process(self.replicas[follower].run_follower())
+
+    def broadcast_poe(self, sender: str, attested: AttestedMessage) -> None:
+        """Equivocation-free multicast: identical attested message to all."""
+        poe = ProofOfExecution(sender, attested)
+        for follower in self.followers:
+            self.network.send(follower, poe)
+
+    # ------------------------------------------------------------------
+    # Client
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        batches: int,
+        timeout_us: float = 1_000_000.0,
+        pipeline_depth: int = 1,
+    ) -> SystemMetrics:
+        """Client issuing *batches* increment batches with up to
+        *pipeline_depth* outstanding at a time.
+
+        A run that fails to gather f+1 identical replies for every
+        batch within *timeout_us* of idle waiting is marked aborted
+        (``self.aborted``) — the observable outcome of a Byzantine
+        leader beyond tolerance.
+        """
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        done = self.sim.event()
+        self.aborted = False
+        self.sim.process(self._client(batches, timeout_us, pipeline_depth, done))
+        self.sim.run(done)
+        return self.metrics
+
+    def _client(self, batches: int, timeout_us: float, depth: int, done):
+        self.metrics.started_at = self.sim.now
+        quorum = self.f + 1
+        sent_at: dict[int, float] = {}
+        votes: dict[int, dict[int, set[str]]] = {}
+        committed: set[int] = set()
+        next_batch = 0
+        while len(committed) < batches and not self.aborted:
+            while next_batch < batches and len(sent_at) < depth:
+                sent_at[next_batch] = self.sim.now
+                votes[next_batch] = {}
+                self.network.send(
+                    self.leader_name, ClientRequest(next_batch, self.batch)
+                )
+                next_batch += 1
+            get_event = self.client_inbox.get()
+            winner = yield self.sim.any_of(
+                [get_event, self.sim.timeout(timeout_us)]
+            )
+            if get_event not in winner:
+                self.client_inbox.cancel_get(get_event)
+                self.aborted = True
+                break
+            reply = winner[get_event]
+            if not isinstance(reply, Reply) or reply.batch_id not in sent_at:
+                continue
+            voters = votes[reply.batch_id].setdefault(reply.output, set())
+            voters.add(reply.sender)
+            if len(voters) >= quorum:
+                latency = self.sim.now - sent_at.pop(reply.batch_id)
+                committed.add(reply.batch_id)
+                for _ in range(self.batch):
+                    self.metrics.record(latency)
+        self.metrics.finished_at = self.sim.now
+        done.succeed(self.metrics)
+
+    # ------------------------------------------------------------------
+    # Quorum reads
+    # ------------------------------------------------------------------
+    def read_counter(self, timeout_us: float = 100_000.0) -> int:
+        """Read the replicated counter: broadcast, trust f+1 identical
+        replies.  Raises TimeoutError when no quorum forms."""
+        done = self.sim.event()
+        self.sim.process(self._read_client(timeout_us, done))
+        return self.sim.run(done)
+
+    def _read_client(self, timeout_us: float, done):
+        read_id = getattr(self, "_next_read_id", 0)
+        self._next_read_id = read_id + 1
+        request = ReadRequest(read_id)
+        for name in [self.leader_name] + self.followers:
+            self.network.send(name, request)
+        quorum = self.f + 1
+        votes: dict[int, set[str]] = {}
+        deadline = self.sim.now + timeout_us
+        while True:
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                done.fail(TimeoutError("no read quorum"))
+                return
+            get_event = self.client_inbox.get()
+            winner = yield self.sim.any_of(
+                [get_event, self.sim.timeout(remaining)]
+            )
+            if get_event not in winner:
+                self.client_inbox.cancel_get(get_event)
+                done.fail(TimeoutError("no read quorum"))
+                return
+            reply = winner[get_event]
+            if (
+                not isinstance(reply, Reply)
+                or reply.batch_id != -read_id - 1
+            ):
+                continue
+            voters = votes.setdefault(reply.output, set())
+            voters.add(reply.sender)
+            if len(voters) >= quorum:
+                done.succeed(reply.output)
+                return
+
+    def detected_faults(self) -> dict[str, list[str]]:
+        return {
+            name: list(replica.detected_faults)
+            for name, replica in self.replicas.items()
+            if replica.detected_faults
+        }

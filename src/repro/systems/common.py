@@ -1,0 +1,219 @@
+"""Shared substrate for the §8.3 distributed-system evaluation.
+
+The paper evaluates the four systems on the Intel cluster over the
+DRCT-IO stack, injecting busy-waits that emulate each attestation
+provider's latency.  :class:`EmulatedNetwork` is that substrate: FIFO
+reliable channels with the DRCT-IO per-hop latency, carrying Python
+message objects between named nodes.
+
+:class:`BroadcastAuthenticator` implements the equivocation-free
+multicast pattern of §6.1: the sender attests a message *once*
+(``local_send``) and unicasts the identical attested message; every
+receiver checks transferable authentication and tracks the expected
+counter per sender, exactly like the per-sender counter copies the
+paper's BFT protocol keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.attestation import AttestedMessage
+from repro.sim.latency import SYSTEM_NET_HOP_US
+from repro.sim.resources import Store
+from repro.tee.base import AttestationProvider
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import Simulator
+    from repro.sim.events import Event
+
+
+class EmulatedNetwork:
+    """FIFO reliable message passing with per-hop latency."""
+
+    def __init__(
+        self, sim: "Simulator", hop_latency_us: float = SYSTEM_NET_HOP_US
+    ) -> None:
+        self.sim = sim
+        self.hop_latency_us = hop_latency_us
+        self._inboxes: dict[str, Store] = {}
+        self.messages_sent = 0
+        self._isolated: set[str] = set()
+        self._held: list[tuple[str, Any]] = []
+        self._drop_mode = False
+        self.dropped_messages = 0
+
+    def register(self, name: str) -> Store:
+        """Create the inbox for node *name*."""
+        if name in self._inboxes:
+            raise ValueError(f"node {name!r} already registered")
+        inbox = Store(self.sim)
+        self._inboxes[name] = inbox
+        return inbox
+
+    def inbox(self, name: str) -> Store:
+        return self._inboxes[name]
+
+    # ------------------------------------------------------------------
+    # Partitions.  The transport below this layer is reliable ("TNIC
+    # guarantees packet retransmission ... until their successful
+    # reception"), so a partition *delays* traffic rather than losing
+    # it: messages toward isolated nodes are held and flushed on heal.
+    # ------------------------------------------------------------------
+    def isolate(self, names: set[str], mode: str = "hold") -> None:
+        """Cut the listed nodes off.
+
+        ``mode="hold"`` (default) models a partition over a reliable
+        substrate: inbound traffic is buffered and flushed on heal.
+        ``mode="drop"`` models a crashed-and-restarted node whose
+        in-flight traffic is lost — the case protocol-level repair
+        (e.g. Raft log catch-up) must handle.
+        """
+        if mode not in ("hold", "drop"):
+            raise ValueError(f"unknown isolation mode {mode!r}")
+        unknown = names - set(self._inboxes)
+        if unknown:
+            raise KeyError(f"unknown nodes: {sorted(unknown)}")
+        self._isolated |= names
+        self._drop_mode = mode == "drop"
+
+    def heal(self) -> None:
+        """Restore connectivity and deliver every held message."""
+        self._isolated.clear()
+        held, self._held = self._held, []
+        for dst, message in held:
+            inbox = self._inboxes[dst]
+            self.sim.delayed_call(
+                self.hop_latency_us, lambda i=inbox, m=message: i.put(m)
+            )
+
+    @property
+    def held_messages(self) -> int:
+        return len(self._held)
+
+    def send(self, dst: str, message: Any) -> None:
+        """Deliver *message* to *dst* after one hop latency."""
+        if dst not in self._inboxes:
+            raise KeyError(f"unknown destination {dst!r}")
+        self.messages_sent += 1
+        if dst in self._isolated:
+            if self._drop_mode:
+                self.dropped_messages += 1
+            else:
+                self._held.append((dst, message))
+            return
+        inbox = self._inboxes[dst]
+        self.sim.delayed_call(self.hop_latency_us, lambda: inbox.put(message))
+
+    def broadcast(self, destinations: list[str], message: Any) -> None:
+        for dst in destinations:
+            self.send(dst, message)
+
+
+class EquivocationDetected(Exception):
+    """A receiver observed a counter/authentication anomaly."""
+
+
+class BroadcastAuthenticator:
+    """Receiver-side state for equivocation-free multicast.
+
+    One instance per (receiver, sender) pair: verifies transferable
+    authentication of each attested message and enforces that the
+    sender's counters arrive gap-free and in order.  A Byzantine sender
+    that equivocates (sends different messages to different peers) is
+    forced by the attestation kernel to bind them to different
+    counters, which this check exposes.
+    """
+
+    def __init__(self, provider: AttestationProvider, session_id: int) -> None:
+        self.provider = provider
+        self.session_id = session_id
+        self.expected_counter = 0
+        self.anomalies: list[str] = []
+
+    def verify(self, message: AttestedMessage) -> "Event":
+        """Event resolves with the payload, or fails with
+        :class:`EquivocationDetected`."""
+        sim = self.provider.sim
+        done = sim.event()
+        check = self.provider.check_transferable(self.session_id, message)
+
+        def _finish(event) -> None:
+            if not event._value:
+                self.anomalies.append(f"bad-mac@{message.counter}")
+                done.fail(EquivocationDetected(
+                    f"attestation failed for counter {message.counter}"
+                ))
+                return
+            if message.counter != self.expected_counter:
+                self.anomalies.append(
+                    f"counter-gap expected={self.expected_counter} "
+                    f"got={message.counter}"
+                )
+                done.fail(EquivocationDetected(
+                    f"expected counter {self.expected_counter}, "
+                    f"got {message.counter}: equivocation or replay"
+                ))
+                return
+            self.expected_counter += 1
+            done.succeed(message.payload)
+
+        check.callbacks.append(_finish)
+        return done
+
+
+@dataclass
+class SystemMetrics:
+    """Throughput/latency accounting over virtual time."""
+
+    committed: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    latencies_us: list[float] = field(default_factory=list)
+
+    def record(self, latency_us: float) -> None:
+        self.committed += 1
+        self.latencies_us.append(latency_us)
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput_ops(self) -> float:
+        """Committed operations per second of virtual time."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.committed / (self.elapsed_us / 1e6)
+
+    @property
+    def mean_latency_us(self) -> float:
+        if not self.latencies_us:
+            return 0.0
+        return sum(self.latencies_us) / len(self.latencies_us)
+
+    def percentile_latency_us(self, p: float) -> float:
+        if not self.latencies_us:
+            return 0.0
+        ordered = sorted(self.latencies_us)
+        index = min(int(len(ordered) * p), len(ordered) - 1)
+        return ordered[index]
+
+
+def install_shared_sessions(
+    providers: dict[str, AttestationProvider], key_root: bytes = b"system-key"
+) -> dict[str, int]:
+    """Give every node a broadcast session keyed to its name.
+
+    Returns ``{node_name: session_id}``; every provider installs every
+    session key so any node can verify any other's attestations
+    (transferable authentication requires shared session keys)."""
+    from repro.crypto.hashing import sha256
+
+    session_ids = {name: i + 1 for i, name in enumerate(sorted(providers))}
+    for name, session_id in session_ids.items():
+        key = sha256(key_root, name)
+        for provider in providers.values():
+            provider.install_session(session_id, key)
+    return session_ids

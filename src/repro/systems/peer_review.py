@@ -1,0 +1,379 @@
+"""Accountability with PeerReview over TNIC (§7, App. C.5, Algorithm 5).
+
+An overlay-multicast streaming tree (one source, two children).  Every
+participant keeps a *tamper-evident log* — a hash chain of all messages
+sent and received.  A witness assigned to the source audits the log:
+it fetches the entries since its last audit (with a nonce for
+freshness), replays them against a reference deterministic
+implementation and flags any divergence.
+
+TNIC's contribution (vs the original PeerReview) is that messages carry
+hardware attestations with monotonic counters, so receivers need not
+forward every message to the sender's witnesses to rule out
+equivocation — the all-to-all communication disappears, and the audit
+reduces to a periodic log replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attestation import AttestedMessage
+from repro.crypto.hashing import sha256
+from repro.sim.clock import Simulator
+from repro.sim.latency import PEER_REVIEW_AUDIT_US
+from repro.systems.common import (
+    BroadcastAuthenticator,
+    EmulatedNetwork,
+    EquivocationDetected,
+    SystemMetrics,
+    install_shared_sessions,
+)
+from repro.tee.providers import make_provider
+
+# ---------------------------------------------------------------------------
+# Tamper-evident log
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One entry of the hash-chained log."""
+
+    index: int
+    direction: str  # "send" | "recv"
+    data: bytes
+    authenticator: bytes  # hash(prev_authenticator, direction, data)
+
+
+class TamperEvidentLog:
+    """An append-only hash chain; any retroactive edit breaks the chain."""
+
+    def __init__(self) -> None:
+        self.records: list[LogRecord] = []
+
+    def append(self, direction: str, data: bytes) -> LogRecord:
+        prev = self.records[-1].authenticator if self.records else b"\x00" * 32
+        record = LogRecord(
+            index=len(self.records),
+            direction=direction,
+            data=data,
+            authenticator=sha256(prev, direction, data),
+        )
+        self.records.append(record)
+        return record
+
+    def tamper(self, index: int, data: bytes) -> None:
+        """Byzantine helper: rewrite a record in place (tests only)."""
+        old = self.records[index]
+        self.records[index] = LogRecord(old.index, old.direction, data,
+                                        old.authenticator)
+
+    def verify_chain(self) -> int | None:
+        """Return the index of the first broken link, or None if intact."""
+        prev = b"\x00" * 32
+        for record in self.records:
+            expected = sha256(prev, record.direction, record.data)
+            if record.authenticator != expected:
+                return record.index
+            prev = record.authenticator
+        return None
+
+    def since(self, index: int) -> list[LogRecord]:
+        return self.records[index:]
+
+
+# ---------------------------------------------------------------------------
+# Wire messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    kind = "chunk"
+    sender: str
+    attested: AttestedMessage  # payload encodes (seq, content)
+
+
+@dataclass(frozen=True)
+class ChunkAck:
+    kind = "ack"
+    sender: str
+    attested: AttestedMessage  # payload encodes (seq, result)
+
+
+def _encode(seq: int, text: str) -> bytes:
+    return f"{seq}|{text}".encode()
+
+
+def _decode(payload: bytes) -> tuple[int, str]:
+    seq, text = payload.decode().split("|", 1)
+    return int(seq), text
+
+
+def reference_execute(content: str) -> str:
+    """The deterministic specification every participant must follow."""
+    return "out:" + sha256(content).hex()[:12]
+
+
+@dataclass
+class PeerReviewBehaviour:
+    """Byzantine deviations injected into the tree."""
+
+    wrong_execution: bool = False   # children compute a deviating result
+    tamper_log: bool = False        # source rewrites a logged entry
+    silent_child: bool = False      # first child stops responding
+
+
+# ---------------------------------------------------------------------------
+# Nodes
+# ---------------------------------------------------------------------------
+
+
+class _Child:
+    def __init__(self, name: str, system: "PeerReviewSystem") -> None:
+        self.name = name
+        self.system = system
+        self.provider = system.providers[name]
+        self.log = TamperEvidentLog()
+        self.inbox = system.network.register(name)
+        self.auth = BroadcastAuthenticator(
+            self.provider, system.session_ids[system.source_name]
+        )
+        self.detected_faults: list[str] = []
+        self.wrong_execution = False
+        self.silent = False
+
+    def run(self):
+        while True:
+            message = yield self.inbox.get()
+            if not isinstance(message, StreamChunk):
+                continue
+            if self.silent:
+                continue  # crashed / non-responsive node
+            try:
+                payload = yield self.auth.verify(message.attested)
+            except EquivocationDetected as exc:
+                self.detected_faults.append(str(exc))
+                continue
+            seq, content = _decode(payload)
+            self.log.append("recv", payload)
+            result = reference_execute(content)
+            if self.wrong_execution:
+                result = "out:deviated"
+            response_payload = _encode(seq, result)
+            self.log.append("send", response_payload)
+            attested = yield self.provider.attest(
+                self.system.session_ids[self.name], response_payload
+            )
+            self.system.network.send(
+                self.system.source_name, ChunkAck(self.name, attested)
+            )
+
+
+class _Source:
+    def __init__(self, system: "PeerReviewSystem",
+                 behaviour: PeerReviewBehaviour) -> None:
+        self.name = system.source_name
+        self.system = system
+        self.provider = system.providers[self.name]
+        self.behaviour = behaviour
+        self.log = TamperEvidentLog()
+        self.inbox = system.network.register(self.name)
+        self.child_auths = {
+            child: BroadcastAuthenticator(
+                self.provider, system.session_ids[child]
+            )
+            for child in system.children
+        }
+        self.detected_faults: list[str] = []
+
+    def stream(self, contents: list[str], done):
+        """root(): multicast each chunk, await both children's acks."""
+        system = self.system
+        system.metrics.started_at = system.sim.now
+        for seq, content in enumerate(contents):
+            sent_at = system.sim.now
+            payload = _encode(seq, content)
+            attested = yield self.provider.attest(
+                system.session_ids[self.name], payload
+            )
+            self.log.append("send", payload)
+            if self.behaviour.tamper_log and seq == 1:
+                self.log.tamper(len(self.log.records) - 1,
+                                _encode(seq, "forged-content"))
+            chunk = StreamChunk(self.name, attested)
+            for child in system.children:
+                system.network.send(child, chunk)
+            acked: set[str] = set()
+            deadline = system.sim.now + system.ack_timeout_us
+            while acked < set(system.children):
+                remaining = deadline - system.sim.now
+                if remaining <= 0:
+                    # "expose non-responsive nodes": a witness treats a
+                    # child that stops acknowledging as exposed.
+                    for child in set(system.children) - acked:
+                        system.witness_faults.append(
+                            f"{child}: non-responsive (no ack for chunk "
+                            f"{seq} within {system.ack_timeout_us:.0f}us)"
+                        )
+                    break
+                get_event = self.inbox.get()
+                winner = yield system.sim.any_of(
+                    [get_event, system.sim.timeout(remaining)]
+                )
+                if get_event not in winner:
+                    self.inbox.cancel_get(get_event)
+                    continue  # loop re-checks the deadline
+                ack = winner[get_event]
+                if not isinstance(ack, ChunkAck):
+                    continue
+                try:
+                    ack_payload = yield self.child_auths[ack.sender].verify(
+                        ack.attested
+                    )
+                except EquivocationDetected as exc:
+                    self.detected_faults.append(str(exc))
+                    continue
+                ack_seq, _result = _decode(ack_payload)
+                if ack_seq != seq:
+                    continue
+                self.log.append("recv", ack_payload)
+                acked.add(ack.sender)
+            if system.audit_enabled:
+                # "the witness audits the log after every send operation
+                # in the source node"
+                faults = yield from system.witness.audit(self.log)
+                system.witness_faults.extend(faults)
+                if system.audit_children:
+                    for child_name, child in system.child_nodes.items():
+                        child_faults = yield from system.child_witnesses[
+                            child_name
+                        ].audit(child.log)
+                        system.witness_faults.extend(
+                            f"{child_name}: {fault}" for fault in child_faults
+                        )
+            system.metrics.record(system.sim.now - sent_at)
+        system.metrics.finished_at = system.sim.now
+        done.succeed(system.metrics)
+
+
+class Witness:
+    """Audits a participant's log against the reference implementation.
+
+    "Each node is assigned to a set of witness processes to detect
+    faults" — the *role* determines which log direction carries stream
+    chunks and which carries computed results: the source logs chunks
+    as sends and results as recvs; a child logs the reverse.
+    """
+
+    def __init__(self, system: "PeerReviewSystem", role: str = "source") -> None:
+        if role not in ("source", "child"):
+            raise ValueError(f"unknown witness role {role!r}")
+        self.system = system
+        self.role = role
+        self.audited_until = 0
+        self.audits_performed = 0
+
+    def audit(self, log: TamperEvidentLog):
+        """log_audit(): replay new entries; returns a list of faults.
+
+        Checks the hash chain, then replays each logged chunk through
+        the reference implementation, verifying logged results match.
+        """
+        yield self.system.sim.timeout(PEER_REVIEW_AUDIT_US)
+        self.audits_performed += 1
+        chunk_direction = "send" if self.role == "source" else "recv"
+        faults: list[str] = []
+        broken = log.verify_chain()
+        if broken is not None:
+            faults.append(f"hash chain broken at entry {broken}")
+        expected_results: dict[int, str] = {}
+        for record in log.since(0):
+            seq, text = _decode(record.data)
+            if record.direction == chunk_direction:
+                expected_results[seq] = reference_execute(text)
+            else:
+                expected = expected_results.get(seq)
+                if expected is not None and text != expected:
+                    faults.append(
+                        f"entry {record.index}: logged result {text!r} "
+                        f"diverges from reference {expected!r}"
+                    )
+        self.audited_until = len(log.records)
+        return faults
+
+
+# ---------------------------------------------------------------------------
+# The system
+# ---------------------------------------------------------------------------
+
+
+class PeerReviewSystem:
+    """Streaming tree of height one: one source, two children."""
+
+    def __init__(
+        self,
+        provider_name: str = "tnic",
+        audit: bool = True,
+        children: int = 2,
+        seed: int = 0,
+        behaviour: PeerReviewBehaviour | None = None,
+        provider_kwargs: dict | None = None,
+        audit_children: bool = False,
+        ack_timeout_us: float = 100_000.0,
+    ) -> None:
+        if children < 1:
+            raise ValueError("need at least one child")
+        self.ack_timeout_us = ack_timeout_us
+        self.sim = Simulator()
+        self.network = EmulatedNetwork(self.sim)
+        self.provider_name = provider_name
+        self.audit_enabled = audit
+        #: §8.3 uses "one witness for the source node"; enabling this
+        #: audits every child's log too (full witness-set deployment).
+        self.audit_children = audit_children
+        self.source_name = "source"
+        self.children = [f"child{i}" for i in range(children)]
+        kwargs = provider_kwargs or {}
+        if provider_name == "amd-sev":
+            kwargs.setdefault("lower_bound", True)
+        names = [self.source_name] + self.children
+        self.providers = {
+            name: make_provider(provider_name, self.sim, i + 1, seed=seed, **kwargs)
+            for i, name in enumerate(names)
+        }
+        self.session_ids = install_shared_sessions(self.providers)
+        self.metrics = SystemMetrics()
+        self.witness = Witness(self, role="source")
+        self.child_witnesses = {
+            name: Witness(self, role="child") for name in self.children
+        }
+        self.witness_faults: list[str] = []
+        self.source = _Source(self, behaviour or PeerReviewBehaviour())
+        self.child_nodes = {name: _Child(name, self) for name in self.children}
+        if behaviour and behaviour.wrong_execution:
+            first = self.children[0]
+            self.child_nodes[first].wrong_execution = True
+        if behaviour and behaviour.silent_child:
+            first = self.children[0]
+            self.child_nodes[first].silent = True
+        for child in self.child_nodes.values():
+            self.sim.process(child.run())
+
+    def witness_audit(self, log: TamperEvidentLog):
+        return self.witness.audit(log)
+
+    def run_workload(self, chunks: int) -> SystemMetrics:
+        contents = [f"chunk-{i}" for i in range(chunks)]
+        done = self.sim.event()
+        self.sim.process(self.source.stream(contents, done))
+        self.sim.run(done)
+        return self.metrics
+
+    def detected_faults(self) -> list[str]:
+        faults = list(self.witness_faults)
+        faults.extend(self.source.detected_faults)
+        for child in self.child_nodes.values():
+            faults.extend(child.detected_faults)
+        return faults

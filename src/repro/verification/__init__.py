@@ -1,0 +1,55 @@
+"""Symbolic verification of the TNIC protocols (§4.4, Appendix B).
+
+The paper proves its lemmas with the Tamarin prover over a symbolic
+Dolev–Yao model.  Tamarin is unavailable offline, so this package
+implements the same methodology as a *bounded explicit-state model
+checker*:
+
+* :mod:`~repro.verification.model` — transition systems for the
+  Algorithm-1 communication phase (send/deliver/inject/replay under an
+  adversary-controlled network) and the Figure-3 attestation phase,
+  with the same perfect-cryptography assumptions as Tamarin's symbolic
+  model (MACs are opaque; only key holders produce them).
+* :mod:`~repro.verification.lemmas` — the paper's lemmas (Eq. 1-5 and
+  the Appendix-B set) as trace predicates.
+* :mod:`~repro.verification.checker` — exhaustive exploration of all
+  interleavings up to a bound, reporting counterexample traces.
+
+Deliberately *broken* model variants (no counter check, MAC-less
+acceptance) are provided so tests can confirm the checker actually
+finds violations — the analogue of Tamarin's sanity lemmas.
+"""
+
+from repro.verification.checker import CheckResult, check_lemma, explore
+from repro.verification.lemmas import (
+    COMMUNICATION_LEMMAS,
+    lemma_attestation_precedence,
+    lemma_no_double_accept,
+    lemma_no_lost_messages,
+    lemma_no_reordering,
+    lemma_transferable_authentication,
+)
+from repro.verification.model import (
+    AttestationPhaseModel,
+    BrokenNoCounterModel,
+    BrokenNoMacModel,
+    Event,
+    TnicCommunicationModel,
+)
+
+__all__ = [
+    "AttestationPhaseModel",
+    "BrokenNoCounterModel",
+    "BrokenNoMacModel",
+    "COMMUNICATION_LEMMAS",
+    "CheckResult",
+    "Event",
+    "TnicCommunicationModel",
+    "check_lemma",
+    "explore",
+    "lemma_attestation_precedence",
+    "lemma_no_double_accept",
+    "lemma_no_lost_messages",
+    "lemma_no_reordering",
+    "lemma_transferable_authentication",
+]

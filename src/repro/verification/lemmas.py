@@ -1,0 +1,109 @@
+"""The paper's security lemmas as trace predicates (§4.4, Appendix B).
+
+Each function takes a trace (tuple of action-fact
+:class:`~repro.verification.model.Event`) and returns True when the
+lemma holds of that trace.  Quantification over traces is performed by
+the checker; quantification over timepoints is the index order within
+the trace, exactly matching the ``a @ t_i`` relation in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.verification.model import Event
+
+
+def _sends(trace: tuple[Event, ...]) -> list[Event]:
+    return [e for e in trace if e.kind == "send"]
+
+
+def _accepts(trace: tuple[Event, ...]) -> list[Event]:
+    return [e for e in trace if e.kind == "accept"]
+
+
+def lemma_transferable_authentication(trace: tuple[Event, ...]) -> bool:
+    """Eq. 2: every accepted message was previously sent by a genuine
+    TNIC device: A(m) @ t_i ⇒ ∃ t_j < t_i. S(m) @ t_j."""
+    sent_so_far: set[tuple[str, int]] = set()
+    for event in trace:
+        if event.kind == "send":
+            sent_so_far.add((event.payload, event.counter))
+        elif event.kind == "accept":
+            if (event.payload, event.counter) not in sent_so_far:
+                return False
+    return True
+
+
+def lemma_no_lost_messages(trace: tuple[Event, ...]) -> bool:
+    """Eq. 3 / `no_lost_messages`: when a message is accepted, every
+    message sent before it has already been accepted."""
+    for i, accept in enumerate(trace):
+        if accept.kind != "accept":
+            continue
+        send_index = _index_of_send(trace, accept)
+        if send_index is None:
+            continue  # covered by transferable authentication
+        accepted_before = {
+            (e.payload, e.counter) for e in trace[:i] if e.kind == "accept"
+        }
+        for earlier in trace[:send_index]:
+            if earlier.kind == "send":
+                if (earlier.payload, earlier.counter) not in accepted_before:
+                    return False
+    return True
+
+
+def lemma_no_reordering(trace: tuple[Event, ...]) -> bool:
+    """Eq. 4 / `no_message_reordering`: accept order respects send order."""
+    send_order = {(e.payload, e.counter): i for i, e in enumerate(_sends(trace))}
+    accepted = [
+        send_order[(e.payload, e.counter)]
+        for e in _accepts(trace)
+        if (e.payload, e.counter) in send_order
+    ]
+    return accepted == sorted(accepted)
+
+
+def lemma_no_double_accept(trace: tuple[Event, ...]) -> bool:
+    """Eq. 5 / `no_double_messages`: the same message is accepted at
+    most once: A(m) @ t_i ∧ A(m) @ t_j ⇒ t_i = t_j."""
+    seen: set[tuple[str, int]] = set()
+    for event in _accepts(trace):
+        key = (event.payload, event.counter)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def lemma_attestation_precedence(trace: tuple[Event, ...]) -> bool:
+    """Eq. 1 / `initialization_attested`: if the IP vendor finished the
+    attestation, the TNIC device reached its valid state strictly
+    earlier: D_ipv(c) @ t_i ⇒ ∃ t_j < t_i. D_tnic(c) @ t_j."""
+    device_done = False
+    for event in trace:
+        if event.kind == "device_done":
+            device_done = True
+        elif event.kind == "vendor_done":
+            if not device_done:
+                return False
+    return True
+
+
+def _index_of_send(trace: tuple[Event, ...], accept: Event) -> int | None:
+    for i, event in enumerate(trace):
+        if (
+            event.kind == "send"
+            and event.payload == accept.payload
+            and event.counter == accept.counter
+        ):
+            return i
+    return None
+
+
+#: The communication-phase lemma suite (Appendix B names).
+COMMUNICATION_LEMMAS = {
+    "verified_msg_is_auth": lemma_transferable_authentication,
+    "no_lost_messages": lemma_no_lost_messages,
+    "no_message_reordering": lemma_no_reordering,
+    "no_double_messages": lemma_no_double_accept,
+}

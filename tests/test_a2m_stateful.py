@@ -1,0 +1,124 @@
+"""Stateful property testing of the A2M log (hypothesis rule machine).
+
+Random interleavings of append / lookup / truncate / verify against a
+Python-dict reference model: the A2M invariants (monotonic bounds,
+live-window contents, digest-chain integrity) must hold at every step.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.sim import Simulator
+from repro.systems.a2m import A2M, A2MError
+from repro.tee import make_provider
+
+KEY = b"stateful-a2m-key-0123456789abcd!"
+
+
+class A2MMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        sim = Simulator()
+        provider = make_provider("ssl-lib", sim, 1)  # fast latency model
+        provider.install_session(1, KEY)
+        self.sim = sim
+        self.a2m = A2M(provider, 1)
+        #: Reference model: sequence -> context for live entries.
+        self.reference: dict[int, bytes] = {}
+        self.head = 0
+        self.tail = 0
+
+    # ------------------------------------------------------------------
+    @rule(ctx=st.binary(min_size=1, max_size=24))
+    def append(self, ctx):
+        entry = self.sim.run(self.a2m.append("log", ctx))
+        assert entry.sequence == self.tail
+        self.reference[self.tail] = ctx
+        self.tail += 1
+
+    @precondition(lambda self: self.tail > self.head)
+    @rule(data=st.data())
+    def lookup_live(self, data):
+        seq = data.draw(st.integers(min_value=self.head,
+                                    max_value=self.tail - 1))
+        entry = self.sim.run(self.a2m.lookup("log", seq))
+        if self.reference[seq] is not None:  # None == internal TRNC marker
+            assert entry.context == self.reference[seq]
+
+    @precondition(lambda self: self.head > 0)
+    @rule()
+    def lookup_forgotten_fails(self):
+        with pytest.raises(A2MError):
+            self.a2m.lookup("log", self.head - 1)
+
+    @precondition(lambda self: self.tail > self.head)
+    @rule(data=st.data(), nonce=st.binary(min_size=1, max_size=8))
+    def truncate(self, data, nonce):
+        new_head = data.draw(st.integers(min_value=self.head,
+                                         max_value=self.tail))
+        self.sim.run(self.a2m.truncate("log", new_head, nonce))
+        for seq in [s for s in self.reference if s < new_head]:
+            del self.reference[seq]
+        self.head = new_head
+        # truncate() appended a TRNC marker to the log itself.
+        self.reference[self.tail] = None  # marker content is internal
+        self.tail += 1
+
+    @precondition(lambda self: self.tail > self.head)
+    @rule()
+    def verify_live_range(self):
+        assert self.a2m.verify_range("log", self.head, self.tail)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def bounds_match_reference(self):
+        head, tail = self.a2m.bounds("log")
+        assert head == self.head
+        assert tail == self.tail
+
+    @invariant()
+    def live_window_complete(self):
+        log = self.a2m._log("log")
+        assert set(log.entries) == set(self.reference)
+
+
+TestA2MStateful = A2MMachine.TestCase
+TestA2MStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+def test_verify_range_detects_in_place_rewrite():
+    from dataclasses import replace
+
+    sim = Simulator()
+    provider = make_provider("ssl-lib", sim, 1)
+    provider.install_session(1, KEY)
+    a2m = A2M(provider, 1)
+    for i in range(5):
+        sim.run(a2m.append("log", f"e{i}".encode()))
+    assert a2m.verify_range("log", 0, 5)
+    log = a2m._log("log")
+    log.entries[2] = replace(log.entries[2], context=b"rewritten")
+    assert not a2m.verify_range("log", 0, 5)
+    # A range before the rewrite still verifies.
+    assert a2m.verify_range("log", 0, 2)
+
+
+def test_verify_range_validation():
+    sim = Simulator()
+    provider = make_provider("ssl-lib", sim, 1)
+    provider.install_session(1, KEY)
+    a2m = A2M(provider, 1)
+    sim.run(a2m.append("log", b"x"))
+    with pytest.raises(A2MError, match="outside live window"):
+        a2m.verify_range("log", 0, 5)
+    with pytest.raises(A2MError):
+        a2m.verify_range("log", 1, 1)

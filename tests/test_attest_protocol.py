@@ -1,0 +1,169 @@
+"""Tests for bootstrapping + remote attestation (§4.3, Figure 3)."""
+
+import pytest
+
+from repro.attest_protocol import (
+    IpVendor,
+    Manufacturer,
+    ProtocolError,
+    SecureChannel,
+    TlsError,
+    TnicControllerDevice,
+    provision_device,
+)
+from repro.attest_protocol.actors import ControllerBinary
+from repro.attest_protocol.tls import SealedRecord
+from repro.crypto.hashing import sha256
+from repro.crypto.rsa import generate_keypair
+from repro.sim.rng import DeterministicRng
+
+SESSIONS = {1: b"a" * 32, 2: b"b" * 32}
+
+
+def test_happy_path_provisions_bitstream_and_secrets():
+    manufacturer = Manufacturer()
+    vendor = IpVendor()
+    result = provision_device(manufacturer, vendor, "dev-001", SESSIONS)
+    assert result.bitstream == vendor.bitstream
+    assert result.session_secrets == SESSIONS
+    assert result.device.received_bitstream == vendor.bitstream
+    assert vendor.provisioned["dev-001"] == result.controller_public_key
+
+
+def test_counterfeit_device_rejected():
+    """A device whose HW_key was not burnt by the manufacturer cannot
+    produce a valid measurement certificate."""
+    manufacturer = Manufacturer()
+    vendor = IpVendor()
+    manufacturer.construct_device("dev-001")
+    binary = vendor.publish_binary()
+    fake = TnicControllerDevice("dev-001", sha256("attacker-key"), binary)
+    with pytest.raises(ProtocolError, match="not rooted in HW_key"):
+        provision_device(manufacturer, vendor, "dev-001", SESSIONS, device=fake)
+
+
+def test_unknown_binary_measurement_rejected():
+    """A genuine device running an unexpected (malicious) binary fails
+    the measurement check."""
+    manufacturer = Manufacturer()
+    vendor = IpVendor()
+    hw_key = manufacturer.construct_device("dev-001")
+    rogue_binary = ControllerBinary(
+        code=b"evil-controller", vendor_public_key=vendor.keys.public
+    )
+    rogue = TnicControllerDevice("dev-001", hw_key, rogue_binary)
+    with pytest.raises(ProtocolError, match="measurement is unknown"):
+        provision_device(manufacturer, vendor, "dev-001", SESSIONS, device=rogue)
+
+
+def test_wrong_vendor_key_embedded_refuses_channel():
+    """The controller only talks to the vendor embedded in its binary."""
+    manufacturer = Manufacturer()
+    vendor = IpVendor()
+    imposter = IpVendor("imposter")
+    hw_key = manufacturer.construct_device("dev-001")
+    # Binary embeds the imposter's key but carries vendor's code, and the
+    # vendor is tricked into accepting its measurement.
+    binary = ControllerBinary(code=b"controller-v1",
+                              vendor_public_key=imposter.keys.public)
+    vendor._expected_measurements.add(binary.measurement())
+    device = TnicControllerDevice("dev-001", hw_key, binary)
+    with pytest.raises(ProtocolError, match="embedded in the binary"):
+        provision_device(manufacturer, vendor, "dev-001", SESSIONS, device=device)
+
+
+def test_stale_nonce_rejected():
+    manufacturer = Manufacturer()
+    vendor = IpVendor()
+    hw_key = manufacturer.construct_device("dev-001")
+    binary = vendor.publish_binary()
+    device = TnicControllerDevice("dev-001", hw_key, binary)
+    manufacturer.disclose_hw_key("dev-001", vendor)
+    stale_report = device.produce_report(b"old-nonce-0123456")
+    with pytest.raises(ProtocolError, match="nonce"):
+        vendor.verify_report(stale_report, b"fresh-nonce-89abc")
+
+
+def test_unknown_device_serial_rejected():
+    vendor = IpVendor()
+    manufacturer = Manufacturer()
+    hw_key = manufacturer.construct_device("dev-001")
+    device = TnicControllerDevice("dev-001", hw_key, vendor.publish_binary())
+    report = device.produce_report(b"n" * 16)
+    with pytest.raises(ProtocolError, match="no manufacturer-rooted key"):
+        vendor.verify_report(report, b"n" * 16)
+
+
+def test_report_signature_must_match_attested_key():
+    manufacturer = Manufacturer()
+    vendor = IpVendor()
+    hw_key = manufacturer.construct_device("dev-001")
+    device = TnicControllerDevice("dev-001", hw_key, vendor.publish_binary())
+    manufacturer.disclose_hw_key("dev-001", vendor)
+    report = device.produce_report(b"n" * 16)
+    forged = type(report)(
+        certificate=report.certificate, nonce=report.nonce,
+        signature=report.signature ^ 1,
+    )
+    with pytest.raises(ProtocolError, match="signature"):
+        vendor.verify_report(forged, b"n" * 16)
+
+
+def test_manufacturer_refuses_duplicate_serials():
+    manufacturer = Manufacturer()
+    manufacturer.construct_device("dev-001")
+    with pytest.raises(ProtocolError):
+        manufacturer.construct_device("dev-001")
+
+
+def test_provisioning_is_deterministic_with_seeded_rng():
+    m1, v1 = Manufacturer(), IpVendor()
+    m2, v2 = Manufacturer(), IpVendor()
+    r1 = provision_device(m1, v1, "dev-1", SESSIONS, rng=DeterministicRng(5))
+    r2 = provision_device(m2, v2, "dev-1", SESSIONS, rng=DeterministicRng(5))
+    assert r1.controller_public_key == r2.controller_public_key
+
+
+# ---------------------------------------------------------------------------
+# Secure channel
+# ---------------------------------------------------------------------------
+
+def test_channel_roundtrip():
+    key = sha256("session")
+    a, b = SecureChannel(key), SecureChannel(key)
+    record = a.seal(b"secret bitstream")
+    assert b.open(record) == b"secret bitstream"
+
+
+def test_channel_rejects_tampered_ciphertext():
+    key = sha256("session")
+    a, b = SecureChannel(key), SecureChannel(key)
+    record = a.seal(b"secret")
+    tampered = SealedRecord(
+        nonce=record.nonce,
+        ciphertext=bytes([record.ciphertext[0] ^ 1]) + record.ciphertext[1:],
+        tag=record.tag,
+    )
+    with pytest.raises(TlsError, match="authentication"):
+        b.open(tampered)
+
+
+def test_channel_rejects_replay():
+    key = sha256("session")
+    a, b = SecureChannel(key), SecureChannel(key)
+    record = a.seal(b"secret")
+    b.open(record)
+    with pytest.raises(TlsError, match="replayed"):
+        b.open(record)
+
+
+def test_channel_wrong_key_fails():
+    a = SecureChannel(sha256("k1"))
+    b = SecureChannel(sha256("k2"))
+    with pytest.raises(TlsError):
+        b.open(a.seal(b"x"))
+
+
+def test_channel_key_length_validated():
+    with pytest.raises(ValueError):
+        SecureChannel(b"short")

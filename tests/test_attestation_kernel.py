@@ -1,0 +1,233 @@
+"""Unit tests for the attestation kernel (Algorithm 1)."""
+
+import pytest
+
+from repro.core import (
+    AttestationKernel,
+    AttestedMessage,
+    ContinuityError,
+    MacMismatchError,
+    UnknownSessionError,
+)
+from repro.core.counters import CounterStore
+from repro.core.keystore import Keystore, KeystoreError
+from repro.sim import Simulator
+
+KEY = b"k" * 32
+
+
+def make_pair(session=1):
+    sender = AttestationKernel(device_id=10)
+    receiver = AttestationKernel(device_id=20)
+    sender.install_session(session, KEY)
+    receiver.install_session(session, KEY)
+    return sender, receiver
+
+
+def test_attest_then_verify_roundtrip():
+    sender, receiver = make_pair()
+    msg = sender.attest(1, b"payload")
+    assert receiver.verify(1, msg) == b"payload"
+
+
+def test_counters_monotonic_per_message():
+    sender, _ = make_pair()
+    counters = [sender.attest(1, b"m").counter for _ in range(5)]
+    assert counters == [0, 1, 2, 3, 4]
+
+
+def test_verify_rejects_tampered_payload():
+    sender, receiver = make_pair()
+    msg = sender.attest(1, b"payload")
+    forged = AttestedMessage(
+        payload=b"evil", alpha=msg.alpha, session_id=msg.session_id,
+        device_id=msg.device_id, counter=msg.counter,
+    )
+    with pytest.raises(MacMismatchError):
+        receiver.verify(1, forged)
+    # Failed verification must not advance the receive counter.
+    assert receiver.counters.expected_recv(1) == 0
+    assert receiver.verify(1, msg) == b"payload"
+
+
+def test_verify_rejects_forged_alpha():
+    sender, receiver = make_pair()
+    msg = sender.attest(1, b"payload")
+    forged = AttestedMessage(
+        payload=msg.payload, alpha=b"\x00" * 32, session_id=msg.session_id,
+        device_id=msg.device_id, counter=msg.counter,
+    )
+    with pytest.raises(MacMismatchError):
+        receiver.verify(1, forged)
+
+
+def test_verify_rejects_replay():
+    """Non-equivocation lemma (iii): the same message is never accepted twice."""
+    sender, receiver = make_pair()
+    msg = sender.attest(1, b"payload")
+    receiver.verify(1, msg)
+    with pytest.raises(ContinuityError):
+        receiver.verify(1, msg)
+
+
+def test_verify_rejects_skipped_message():
+    """Non-equivocation lemma (i): nothing sent earlier may be skipped."""
+    sender, receiver = make_pair()
+    sender.attest(1, b"first")
+    second = sender.attest(1, b"second")
+    with pytest.raises(ContinuityError) as info:
+        receiver.verify(1, second)
+    assert info.value.expected == 0
+    assert info.value.received == 1
+
+
+def test_verify_rejects_reordering():
+    """Non-equivocation lemma (ii): no later message accepted before earlier."""
+    sender, receiver = make_pair()
+    first = sender.attest(1, b"first")
+    second = sender.attest(1, b"second")
+    with pytest.raises(ContinuityError):
+        receiver.verify(1, second)
+    assert receiver.verify(1, first) == b"first"
+    assert receiver.verify(1, second) == b"second"
+
+
+def test_equivocation_attempt_gets_distinct_counters():
+    """A Byzantine sender cannot bind two different messages to one counter."""
+    sender, receiver = make_pair()
+    a = sender.attest(1, b"to-alice")
+    b = sender.attest(1, b"to-bob")
+    assert a.counter != b.counter
+    # Forging b with a's counter breaks the MAC.
+    forged = AttestedMessage(
+        payload=b.payload, alpha=b.alpha, session_id=b.session_id,
+        device_id=b.device_id, counter=a.counter,
+    )
+    with pytest.raises(MacMismatchError):
+        receiver.verify(1, forged)
+
+
+def test_transferable_authentication_third_party():
+    """A forwarded attested message verifies at any key-holding party."""
+    sender, receiver = make_pair()
+    third = AttestationKernel(device_id=30)
+    third.install_session(1, KEY)
+    msg = sender.attest(1, b"payload")
+    # Receiver consumes it in order...
+    receiver.verify(1, msg)
+    # ...and a third party can still evaluate the transferable check.
+    assert third.check_transferable(1, msg)
+    forged = AttestedMessage(
+        payload=b"evil", alpha=msg.alpha, session_id=msg.session_id,
+        device_id=msg.device_id, counter=msg.counter,
+    )
+    assert not third.check_transferable(1, forged)
+
+
+def test_unknown_session_raises():
+    kernel = AttestationKernel(device_id=1)
+    with pytest.raises(UnknownSessionError):
+        kernel.attest(9, b"x")
+    with pytest.raises(UnknownSessionError):
+        kernel.check_transferable(9, AttestedMessage(b"", b"", 9, 1, 0))
+
+
+def test_sessions_are_independent():
+    kernel = AttestationKernel(device_id=1)
+    kernel.install_session(1, KEY)
+    kernel.install_session(2, b"q" * 32)
+    m1 = kernel.attest(1, b"a")
+    m2 = kernel.attest(2, b"a")
+    assert m1.counter == 0 and m2.counter == 0
+    assert m1.alpha != m2.alpha
+
+
+def test_wire_bytes_accounts_for_trailer():
+    sender, _ = make_pair()
+    msg = sender.attest(1, b"x" * 100)
+    assert msg.wire_bytes == 100 + 64 + 16
+
+
+def test_keystore_rejects_key_rewrite_and_short_keys():
+    store = Keystore(device_id=1)
+    store.install(1, KEY)
+    with pytest.raises(KeystoreError):
+        store.install(1, b"z" * 32)
+    with pytest.raises(KeystoreError):
+        store.install(2, b"short")
+    assert store.sessions() == [1]
+    assert len(store) == 1
+
+
+def test_keystore_unknown_session():
+    store = Keystore(device_id=1)
+    with pytest.raises(KeystoreError):
+        store.key_for(5)
+    assert not store.has_session(5)
+
+
+def test_counter_store_send_recv_independent():
+    counters = CounterStore()
+    assert counters.next_send(1) == 0
+    assert counters.next_send(1) == 1
+    assert counters.expected_recv(1) == 0
+    counters.advance_recv(1)
+    assert counters.expected_recv(1) == 1
+    assert counters.peek_send(1) == 2
+    assert counters.snapshot() == {1: (2, 1)}
+
+
+def test_counter_store_rejects_negative_session():
+    counters = CounterStore()
+    with pytest.raises(ValueError):
+        counters.next_send(-1)
+
+
+def test_pipelined_attest_verify_charges_time():
+    sim = Simulator()
+    sender = AttestationKernel(10, sim)
+    receiver = AttestationKernel(20, sim)
+    sender.install_session(1, KEY)
+    receiver.install_session(1, KEY)
+    result = {}
+
+    def run():
+        msg = yield sender.attest_event(1, b"p" * 64)
+        t_attest = sim.now
+        payload = yield receiver.verify_event(1, msg)
+        result["payload"] = payload
+        result["t_attest"] = t_attest
+        result["t_total"] = sim.now
+
+    sim.run(sim.process(run()))
+    assert result["payload"] == b"p" * 64
+    assert 0 < result["t_attest"] < result["t_total"]
+
+
+def test_pipelined_verify_failure_propagates():
+    sim = Simulator()
+    sender = AttestationKernel(10, sim)
+    receiver = AttestationKernel(20, sim)
+    sender.install_session(1, KEY)
+    receiver.install_session(1, KEY)
+
+    def run():
+        msg = yield sender.attest_event(1, b"data")
+        forged = AttestedMessage(
+            payload=b"evil", alpha=msg.alpha, session_id=1,
+            device_id=msg.device_id, counter=msg.counter,
+        )
+        try:
+            yield receiver.verify_event(1, forged)
+        except MacMismatchError:
+            return "rejected"
+        return "accepted"
+
+    assert sim.run(sim.process(run())) == "rejected"
+
+
+def test_pipelined_requires_simulator():
+    kernel = AttestationKernel(1)
+    kernel.install_session(1, KEY)
+    with pytest.raises(RuntimeError):
+        kernel.attest_event(1, b"x")

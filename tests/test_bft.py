@@ -1,0 +1,141 @@
+"""Tests for the BFT replicated counter (Appendix C.3, Algorithm 3)."""
+
+import pytest
+
+from repro.systems.bft import BftCounter, ByzantineBehaviour
+
+
+def test_happy_path_commits_all_batches():
+    system = BftCounter(provider_name="tnic", f=1, batch=1)
+    metrics = system.run_workload(batches=10)
+    assert metrics.committed == 10
+    assert not system.aborted
+    # All replicas converge on the same counter value.
+    values = {r.counter for r in system.replicas.values()}
+    assert values == {10}
+    assert system.detected_faults() == {}
+
+
+def test_batching_multiplies_committed_increments():
+    system = BftCounter(provider_name="tnic", f=1, batch=8)
+    metrics = system.run_workload(batches=5)
+    assert metrics.committed == 40
+    values = {r.counter for r in system.replicas.values()}
+    assert values == {40}
+
+
+def test_throughput_improves_with_batching():
+    """Fig 10: 'batching improves the throughput ... proportionally'."""
+    t1 = BftCounter("tnic", batch=1).run_workload(batches=10).throughput_ops
+    t8 = BftCounter("tnic", batch=8).run_workload(batches=10).throughput_ops
+    t16 = BftCounter("tnic", batch=16).run_workload(batches=10).throughput_ops
+    assert t8 > 3 * t1
+    assert t16 > t8
+
+
+def test_tnic_outperforms_tee_versions():
+    """Fig 10: TNIC improves throughput vs SGX and AMD-sev ~4-6x."""
+    results = {
+        name: BftCounter(name, batch=1, seed=2).run_workload(batches=8)
+        for name in ("tnic", "sgx", "amd-sev", "ssl-lib")
+    }
+    tnic = results["tnic"].throughput_ops
+    assert tnic > 1.5 * results["sgx"].throughput_ops
+    assert tnic > 1.5 * results["amd-sev"].throughput_ops
+    # SSL-lib (no tamper-proofing, no emulated latency) is fastest.
+    assert results["ssl-lib"].throughput_ops > tnic
+
+
+def test_f2_cluster_runs():
+    system = BftCounter(provider_name="tnic", f=2, batch=1)
+    metrics = system.run_workload(batches=3)
+    assert metrics.committed == 3
+    assert len(system.replicas) == 5
+
+
+def test_equivocating_leader_is_detected_and_blocks_commit():
+    """A leader sending different statements to different followers is
+    exposed by the per-sender counters."""
+    system = BftCounter(
+        "tnic",
+        behaviours={"r0": ByzantineBehaviour(equivocate=True)},
+    )
+    system.run_workload(batches=1, timeout_us=20_000.0)
+    assert system.aborted
+    faults = system.detected_faults()
+    assert any(
+        "counter" in fault or "mismatch" in fault
+        for fault_list in faults.values()
+        for fault in fault_list
+    )
+
+
+def test_wrong_output_leader_detected_by_simulation():
+    """Followers simulate the leader's action; a deviating output is
+    caught (integrity property)."""
+    system = BftCounter(
+        "tnic",
+        behaviours={"r0": ByzantineBehaviour(wrong_output=True)},
+    )
+    system.run_workload(batches=1, timeout_us=20_000.0)
+    assert system.aborted
+    faults = system.detected_faults()
+    assert any(
+        "output mismatch" in fault
+        for fault_list in faults.values()
+        for fault in fault_list
+    )
+
+
+def test_replaying_leader_blocks_commit():
+    """Replaying a stale attested message fails the continuity check
+    at every follower after the first delivery."""
+    system = BftCounter(
+        "tnic",
+        behaviours={"r0": ByzantineBehaviour(replay=True)},
+    )
+    # First batch has no prior message to replay: committed normally.
+    # Subsequent batches replay batch 0's PoE and never commit.
+    system.run_workload(batches=3, timeout_us=20_000.0)
+    assert system.aborted
+    assert system.metrics.committed <= 1 * system.batch
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        BftCounter(f=0)
+    with pytest.raises(ValueError):
+        BftCounter(batch=0)
+
+
+def test_latency_recorded_per_commit():
+    system = BftCounter("tnic", batch=1)
+    metrics = system.run_workload(batches=5)
+    assert len(metrics.latencies_us) == 5
+    assert metrics.mean_latency_us > 0
+    assert metrics.percentile_latency_us(0.5) <= metrics.percentile_latency_us(0.99)
+
+
+def test_quorum_read_returns_committed_counter():
+    system = BftCounter("tnic", f=1, batch=2)
+    system.run_workload(batches=3)
+    assert system.read_counter() == 6
+
+
+def test_quorum_read_tolerates_one_divergent_replica():
+    """A single Byzantine replica reporting a wrong value cannot break
+    the f+1 read quorum."""
+    system = BftCounter("tnic", f=1, batch=1)
+    system.run_workload(batches=2)
+    system.replicas["r2"].counter = 999  # lies about its state
+    assert system.read_counter() == 2
+
+
+def test_quorum_read_times_out_beyond_tolerance():
+    system = BftCounter("tnic", f=1, batch=1)
+    system.run_workload(batches=1)
+    system.replicas["r1"].counter = 500
+    system.replicas["r2"].counter = 700
+    import pytest as _pytest
+    with _pytest.raises(TimeoutError):
+        system.read_counter(timeout_us=5_000.0)

@@ -1,0 +1,79 @@
+"""Tests for the Byzantine adversary harness."""
+
+import pytest
+
+from repro.byzantine import (
+    forge_attack,
+    impersonation_attack,
+    replay_attack,
+    run_wire_campaign,
+    stale_counter_attack,
+)
+from repro.core import AttestationKernel
+
+KEY = b"victim-session-key-0123456789ab!"
+SESSION = 1
+
+
+def victim_pair():
+    sender = AttestationKernel(device_id=1)
+    receiver = AttestationKernel(device_id=2)
+    sender.install_session(SESSION, KEY)
+    receiver.install_session(SESSION, KEY)
+    return sender, receiver
+
+
+def test_forge_attack_fully_rejected():
+    _, receiver = victim_pair()
+    report = forge_attack(receiver, SESSION, attempts=100)
+    assert report.defended
+    assert report.attempts == 100
+    assert report.rejected == 100
+
+
+def test_replay_attack_fully_rejected():
+    sender, receiver = victim_pair()
+    report = replay_attack(sender, receiver, SESSION, messages=20)
+    assert report.defended
+    assert report.attempts == 20
+
+
+def test_reorder_attack_only_in_order_accepted():
+    sender, receiver = victim_pair()
+    report = stale_counter_attack(sender, receiver, SESSION, messages=10)
+    assert report.defended
+    # Of the reversed deliveries only the genuinely in-order ones pass
+    # (the last message delivered is counter 0, which is in order).
+    assert receiver.counters.expected_recv(SESSION) >= 1
+
+
+def test_impersonation_attack_fully_rejected():
+    _, receiver = victim_pair()
+    report = impersonation_attack(receiver, SESSION, attempts=30)
+    assert report.defended
+    assert report.attempts == 30
+
+
+def test_wire_campaign_exactly_once_fifo_delivery():
+    report = run_wire_campaign(messages=25, seed=3)
+    assert report.defended, report.notes
+    # Tampering happened and was caught at the NIC.
+    assert report.rejected >= 1
+
+
+def test_wire_campaign_without_tampering():
+    report = run_wire_campaign(messages=10, tamper_every=10**9, seed=1)
+    assert report.defended
+
+
+def test_attack_report_bookkeeping():
+    from repro.byzantine.adversary import AttackReport
+
+    report = AttackReport("test")
+    report.record(accepted=False)
+    report.record(accepted=True, note="oops")
+    assert report.attempts == 2
+    assert report.rejected == 1
+    assert report.accepted == 1
+    assert not report.defended
+    assert report.notes == ["oops"]

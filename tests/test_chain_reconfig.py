@@ -1,0 +1,94 @@
+"""Tests for chain reconfiguration (Appendix C.4 system model)."""
+
+import pytest
+
+from repro.systems.chain import ChainBehaviour, KvRequest
+from repro.systems.chain_reconfig import (
+    ReconfigurableChain,
+    ReconfigurationError,
+)
+
+
+def puts(n, prefix="k"):
+    return [KvRequest("put", f"{prefix}{i}", f"v{i}") for i in range(n)]
+
+
+def test_healthy_chain_never_reconfigures():
+    service = ReconfigurableChain("tnic", chain_length=3)
+    metrics = service.run_workload(puts(4))
+    assert metrics.committed == 4
+    assert service.epoch == 0
+    assert service.exposed == []
+
+
+def test_corrupt_middle_is_exposed_and_excluded():
+    """A middle node forging outputs is exposed via the chained-PoE
+    evidence; the service forms a new configuration without it and the
+    workload completes."""
+    service = ReconfigurableChain(
+        "tnic", chain_length=4,
+        behaviours={"mid0": ChainBehaviour(corrupt_output=True)},
+    )
+    metrics = service.run_workload(puts(3))
+    assert metrics.committed == 3
+    assert service.exposed == ["mid0"]
+    assert service.epoch == 1
+    assert "mid0" not in service.configurations[-1].members
+    # Replicated state is intact across the reconfiguration.
+    for store in service.stores().values():
+        assert store == {f"k{i}": f"v{i}" for i in range(3)}
+
+
+def test_state_transfer_preserves_committed_writes():
+    service = ReconfigurableChain(
+        "tnic", chain_length=4,
+        behaviours={"mid1": ChainBehaviour(corrupt_output=True)},
+    )
+    # mid1 corrupts from the very first request; commit everything.
+    metrics = service.run_workload(puts(5))
+    assert metrics.committed == 5
+    stores = service.stores()
+    assert all(len(store) == 5 for store in stores.values())
+
+
+def test_silent_node_exposed_by_progress_evidence():
+    """A node that silently drops the chain message produces no PoE
+    evidence; the service blames it via commit-progress comparison."""
+    service = ReconfigurableChain(
+        "tnic", chain_length=4,
+        behaviours={"mid0": ChainBehaviour(drop_forward=True)},
+        request_timeout_us=10_000.0,
+    )
+    metrics = service.run_workload(puts(2))
+    assert metrics.committed == 2
+    assert service.exposed == ["mid0"]
+
+
+def test_too_many_exposures_exhaust_configurations():
+    """When exclusions would leave fewer than two replicas, the service
+    reports unavailability rather than an unsafe configuration."""
+    service = ReconfigurableChain(
+        "tnic", chain_length=3,
+        behaviours={
+            "mid0": ChainBehaviour(corrupt_output=True),
+            "tail": ChainBehaviour(corrupt_output=True),
+        },
+    )
+    with pytest.raises(ReconfigurationError):
+        service.run_workload(puts(2))
+
+
+def test_chain_length_minimum():
+    with pytest.raises(ValueError):
+        ReconfigurableChain(chain_length=2)
+
+
+def test_configuration_records_track_epochs():
+    service = ReconfigurableChain(
+        "tnic", chain_length=4,
+        behaviours={"mid0": ChainBehaviour(corrupt_output=True)},
+    )
+    service.run_workload(puts(1))
+    assert [c.epoch for c in service.configurations] == [0, 1]
+    assert service.configurations[0].members == ["head", "mid0", "mid1", "tail"]
+    assert service.configurations[1].members == ["head", "mid1", "tail"]

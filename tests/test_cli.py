@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered" in out
+    assert "forged message accepted: False" in out
+
+
+def test_lemmas_command(capsys):
+    assert main(["lemmas", "--sends", "2", "--depth", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "verified" in out
+    assert "VIOLATED" not in out
+    assert "S_key_secret" in out
+
+
+def test_attack_command(capsys):
+    assert main(["attack", "--attempts", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "defended" in out
+    assert "BREACHED" not in out
+
+
+def test_resources_command(capsys):
+    assert main(["resources"]) == 0
+    out = capsys.readouterr().out
+    assert "32" in out
+    assert "RAMB36" in out
+
+
+def test_stacks_command(capsys):
+    assert main(["stacks", "--ops", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "TNIC" in out and "RDMA-hw" in out
+
+
+def test_systems_command(capsys):
+    assert main(["systems", "--ops", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "BFT counter" in out and "tnic" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

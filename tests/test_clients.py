@@ -1,0 +1,109 @@
+"""Tests for Byzantine-client interaction (Appendix C.1)."""
+
+import pytest
+
+from repro.core import AttestationKernel
+from repro.core.attestation import AttestationError, AttestedMessage
+from repro.systems.clients import (
+    ClientAuthError,
+    ClientReplyPort,
+    SignedReply,
+    TrustedClient,
+)
+
+KEY = b"client-test-key-0123456789abcdef"
+SESSION = 1
+
+
+def setup():
+    kernel = AttestationKernel(device_id=7)
+    kernel.install_session(SESSION, KEY)
+    port = ClientReplyPort(kernel)
+    client = TrustedClient("client-1")
+    client.learn_device_key(7, port.public_key)
+    return kernel, port, client
+
+
+def test_honest_reply_roundtrip():
+    kernel, port, client = setup()
+    nonce, request = client.make_request(b"incr")
+    message = kernel.attest(SESSION, b"result:1")
+    reply = port.sign_reply(SESSION, message, nonce)
+    assert client.verify_reply(reply) == b"result:1"
+    assert client.accepted == 1
+    assert port.signed == 1
+
+
+def test_device_refuses_to_sign_unverifiable_content():
+    """A compromised host cannot get the device to endorse fabricated
+    bytes: sign_reply checks the attestation first."""
+    kernel, port, client = setup()
+    nonce, _ = client.make_request(b"incr")
+    genuine = kernel.attest(SESSION, b"result:1")
+    fabricated = AttestedMessage(
+        payload=b"evil", alpha=genuine.alpha, session_id=SESSION,
+        device_id=genuine.device_id, counter=genuine.counter,
+    )
+    with pytest.raises(AttestationError, match="refuses to sign"):
+        port.sign_reply(SESSION, fabricated, nonce)
+    assert port.refused == 1
+
+
+def test_client_rejects_unknown_device():
+    kernel, port, client = setup()
+    nonce, _ = client.make_request(b"incr")
+    other_kernel = AttestationKernel(device_id=99)
+    other_kernel.install_session(SESSION, KEY)
+    other_port = ClientReplyPort(other_kernel)
+    message = other_kernel.attest(SESSION, b"result:1")
+    reply = other_port.sign_reply(SESSION, message, nonce)
+    with pytest.raises(ClientAuthError, match="no C_pub"):
+        client.verify_reply(reply)
+
+
+def test_client_rejects_forged_signature():
+    kernel, port, client = setup()
+    nonce, _ = client.make_request(b"incr")
+    message = kernel.attest(SESSION, b"result:1")
+    reply = port.sign_reply(SESSION, message, nonce)
+    forged = SignedReply(
+        message=reply.message, request_nonce=reply.request_nonce,
+        signature=reply.signature ^ 1,
+    )
+    with pytest.raises(ClientAuthError, match="signature invalid"):
+        client.verify_reply(forged)
+
+
+def test_client_detects_stale_execution_round():
+    """The Appendix-C.1 attack: a valid, attested but *stale* reply is
+    rejected because its nonce answers no outstanding request."""
+    kernel, port, client = setup()
+    nonce, _ = client.make_request(b"incr")
+    message = kernel.attest(SESSION, b"result:1")
+    reply = port.sign_reply(SESSION, message, nonce)
+    assert client.verify_reply(reply) == b"result:1"
+    # The Byzantine machine replays the same (valid) reply later.
+    with pytest.raises(ClientAuthError, match="stale or replayed"):
+        client.verify_reply(reply)
+    assert client.rejected == 1
+
+
+def test_reply_bound_to_specific_nonce():
+    kernel, port, client = setup()
+    nonce_a, _ = client.make_request(b"req-a")
+    nonce_b, _ = client.make_request(b"req-b")
+    message = kernel.attest(SESSION, b"result")
+    reply_for_a = port.sign_reply(SESSION, message, nonce_a)
+    # Re-labelling the reply for nonce_b breaks the signature.
+    relabelled = SignedReply(
+        message=reply_for_a.message, request_nonce=nonce_b,
+        signature=reply_for_a.signature,
+    )
+    with pytest.raises(ClientAuthError, match="signature invalid"):
+        client.verify_reply(relabelled)
+
+
+def test_nonces_are_unique():
+    _, _, client = setup()
+    nonces = {client.make_request(b"r")[0] for _ in range(50)}
+    assert len(nonces) == 50

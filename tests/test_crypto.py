@@ -1,0 +1,157 @@
+"""Unit tests for the cryptographic substrate."""
+
+import pytest
+
+from repro.crypto import (
+    Certificate,
+    CertificateError,
+    HmacEngine,
+    generate_keypair,
+    hmac_sha256,
+    hmac_verify,
+    sha256,
+)
+from repro.crypto.certificates import verify_chain
+from repro.crypto.hashing import canonical_bytes
+from repro.sim import Simulator
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+def test_hmac_roundtrip():
+    mac = hmac_sha256(KEY, b"hello", 7)
+    assert hmac_verify(KEY, mac, b"hello", 7)
+
+
+def test_hmac_detects_payload_change():
+    mac = hmac_sha256(KEY, b"hello", 7)
+    assert not hmac_verify(KEY, mac, b"hellO", 7)
+    assert not hmac_verify(KEY, mac, b"hello", 8)
+
+
+def test_hmac_wrong_key_fails():
+    mac = hmac_sha256(KEY, b"hello")
+    assert not hmac_verify(b"another-key-of-32-bytes-length!!", mac, b"hello")
+
+
+def test_hmac_requires_key():
+    with pytest.raises(ValueError):
+        hmac_sha256(b"", b"data")
+
+
+def test_canonical_encoding_prevents_concat_ambiguity():
+    assert canonical_bytes([b"ab", b"c"]) != canonical_bytes([b"a", b"bc"])
+    assert sha256("ab", "c") != sha256("a", "bc")
+
+
+def test_canonical_encoding_types():
+    data = canonical_bytes(["s", b"b", 12, True, ["nested", 3]])
+    assert isinstance(data, bytes)
+    with pytest.raises(TypeError):
+        canonical_bytes([3.14])
+
+
+def test_hmac_engine_charges_pipeline_time():
+    sim = Simulator()
+    engine = HmacEngine(sim)
+    result = {}
+
+    def run():
+        mac = yield engine.compute(KEY, b"x" * 100)
+        result["mac"] = mac
+        result["t"] = sim.now
+
+    sim.run(sim.process(run()))
+    assert result["mac"] == hmac_sha256(KEY, b"x" * 100)
+    assert result["t"] > 0
+    assert engine.operations == 1
+
+
+def test_hmac_engine_serialises_concurrent_ops():
+    sim = Simulator()
+    engine = HmacEngine(sim)
+    finish_times = []
+
+    def run():
+        yield engine.compute(KEY, b"a" * 1000)
+        finish_times.append(sim.now)
+
+    sim.process(run())
+    sim.process(run())
+    sim.run()
+    assert len(finish_times) == 2
+    # Second op queues behind the first: roughly double the time.
+    assert finish_times[1] == pytest.approx(2 * finish_times[0], rel=0.01)
+
+
+def test_rsa_sign_verify():
+    keys = generate_keypair(seed="test-device")
+    sig = keys.sign(b"measurement")
+    assert keys.public.verify(b"measurement", sig)
+    assert not keys.public.verify(b"tampered", sig)
+    assert not keys.public.verify(b"measurement", sig + 1)
+
+
+def test_rsa_deterministic_from_seed():
+    a = generate_keypair(seed=42)
+    b = generate_keypair(seed=42)
+    c = generate_keypair(seed=43)
+    assert a.public == b.public
+    assert a.public != c.public
+
+
+def test_rsa_signature_out_of_range_rejected():
+    keys = generate_keypair(seed=1)
+    assert not keys.public.verify(b"m", 0)
+    assert not keys.public.verify(b"m", keys.public.modulus + 5)
+
+
+def test_certificate_issue_and_verify():
+    issuer = generate_keypair(seed="issuer")
+    subject = generate_keypair(seed="subject")
+    cert = Certificate.issue(
+        "vendor", issuer, "device-1", subject.public, {"measurement": b"abc"}
+    )
+    cert.verify(issuer.public)
+
+
+def test_certificate_tamper_detected():
+    issuer = generate_keypair(seed="issuer")
+    subject = generate_keypair(seed="subject")
+    cert = Certificate.issue(
+        "vendor", issuer, "device-1", subject.public, {"measurement": b"abc"}
+    )
+    forged = Certificate(
+        subject="device-2",
+        subject_key=cert.subject_key,
+        payload=cert.payload,
+        issuer=cert.issuer,
+        signature=cert.signature,
+    )
+    with pytest.raises(CertificateError):
+        forged.verify(issuer.public)
+
+
+def test_certificate_chain():
+    root = generate_keypair(seed="root")
+    mid = generate_keypair(seed="mid")
+    leaf = generate_keypair(seed="leaf")
+    mid_cert = Certificate.issue("root", root, "mid", mid.public, {})
+    leaf_cert = Certificate.issue("mid", mid, "leaf", leaf.public, {})
+    verify_chain([leaf_cert, mid_cert], {"root": root.public})
+
+    with pytest.raises(CertificateError):
+        verify_chain([leaf_cert, mid_cert], {"other": root.public})
+    with pytest.raises(CertificateError):
+        verify_chain([], {"root": root.public})
+
+
+def test_certificate_chain_broken_link():
+    root = generate_keypair(seed="root")
+    mid = generate_keypair(seed="mid")
+    leaf = generate_keypair(seed="leaf")
+    mid_cert = Certificate.issue("root", root, "mid", mid.public, {})
+    # Leaf claims an issuer that doesn't match the next certificate.
+    leaf_cert = Certificate.issue("elsewhere", mid, "leaf", leaf.public, {})
+    with pytest.raises(CertificateError, match="broken chain"):
+        verify_chain([leaf_cert, mid_cert], {"root": root.public})

@@ -1,0 +1,184 @@
+"""Edge-case tests for the device datapath, DMA and transport limits."""
+
+import pytest
+
+from repro.core import TnicDevice
+from repro.core.dma import DmaEngine
+from repro.net import ArpServer, Link, NetworkFault
+from repro.roce import QueuePair
+from repro.roce.transport import TransportError
+from repro.sim import Simulator
+from repro.sim.latency import TNIC_PCIE_TRANSFER_US
+
+KEY = b"edge-case-key-0123456789abcdef!!"
+SESSION = 3
+
+
+def test_dma_sync_vs_async_setup_cost():
+    sim = Simulator()
+    sync = DmaEngine(sim, synchronous=True)
+    fast = DmaEngine(sim, synchronous=False)
+    assert sync.setup_cost_us() == TNIC_PCIE_TRANSFER_US
+    assert fast.setup_cost_us() < sync.setup_cost_us()
+
+
+def test_dma_transfer_charges_time_and_counts_bytes():
+    sim = Simulator()
+    dma = DmaEngine(sim)
+    done = dma.transfer(48_000)  # 4us at 12000 B/us + setup
+    sim.run(done)
+    assert sim.now > 4.0
+    assert dma.bytes_moved == 48_000
+    assert dma.transfers == 1
+
+
+def test_dma_negative_size_rejected():
+    with pytest.raises(ValueError):
+        DmaEngine(Simulator()).transfer(-1)
+
+
+def test_untrusted_device_rejects_trusted_operations():
+    sim = Simulator()
+    device = TnicDevice(sim, 1, "10.0.0.1", "m-a", ArpServer(), trusted=False)
+    with pytest.raises(RuntimeError, match="untrusted"):
+        device.install_session(1, KEY)
+    with pytest.raises(RuntimeError, match="untrusted"):
+        device.local_attest(1, b"x")
+
+
+def test_transport_gives_up_after_retry_limit():
+    """A fully dead link eventually fails the send completion."""
+    sim = Simulator()
+    arp = ArpServer()
+    a = TnicDevice(sim, 1, "10.0.0.1", "m-a", arp)
+    b = TnicDevice(sim, 2, "10.0.0.2", "m-b", arp)
+    Link(sim, a.mac, b.mac, fault=NetworkFault(drop_probability=1.0))
+    a.install_session(SESSION, KEY)
+    b.install_session(SESSION, KEY)
+    a.roce.max_retries = 3
+    a.roce.retransmit_timeout_us = 50.0
+    qp = QueuePair(qp_number=1, session_id=SESSION,
+                   local_ip="10.0.0.1", remote_ip="10.0.0.2")
+    a.create_qp(qp)
+    a.connect_qp(1, 2)
+    completion = a.send(1, b"into the void")
+    with pytest.raises(TransportError, match="retry limit"):
+        sim.run(completion)
+    assert a.roce.tables.get(1).retransmissions >= 3
+
+
+def test_read_remote_without_host_memory_is_unanswered():
+    """READ against a target with no registered memory never completes;
+    the requester's retry machinery keeps the request pending."""
+    sim = Simulator()
+    arp = ArpServer()
+    a = TnicDevice(sim, 1, "10.0.0.1", "m-a", arp)
+    b = TnicDevice(sim, 2, "10.0.0.2", "m-b", arp)
+    Link(sim, a.mac, b.mac)
+    a.install_session(SESSION, KEY)
+    b.install_session(SESSION, KEY)
+    qp_a = QueuePair(qp_number=1, session_id=SESSION,
+                     local_ip="10.0.0.1", remote_ip="10.0.0.2")
+    qp_b = QueuePair(qp_number=2, session_id=SESSION,
+                     local_ip="10.0.0.2", remote_ip="10.0.0.1")
+    a.create_qp(qp_a)
+    b.create_qp(qp_b)
+    a.connect_qp(1, 2)
+    b.connect_qp(2, 1)
+    result = a.read_remote(1, 0x1000, 8)
+    sim.run(until=10_000.0)
+    assert not result.triggered
+
+
+def test_duplicate_qp_rejected():
+    sim = Simulator()
+    device = TnicDevice(sim, 1, "10.0.0.1", "m-a", ArpServer())
+    qp = QueuePair(qp_number=1, session_id=SESSION,
+                   local_ip="10.0.0.1", remote_ip="10.0.0.2")
+    device.create_qp(qp)
+    with pytest.raises(ValueError, match="already created"):
+        device.create_qp(qp)
+
+
+def test_queue_pair_validation():
+    with pytest.raises(ValueError):
+        QueuePair(qp_number=-1, session_id=1,
+                  local_ip="10.0.0.1", remote_ip="10.0.0.2")
+    with pytest.raises(ValueError):
+        QueuePair(qp_number=1, session_id=-1,
+                  local_ip="10.0.0.1", remote_ip="10.0.0.2")
+    with pytest.raises(ValueError):
+        QueuePair(qp_number=1, session_id=1,
+                  local_ip="10.0.0.1", remote_ip="10.0.0.1")
+    qp = QueuePair(qp_number=1, session_id=1,
+                   local_ip="10.0.0.1", remote_ip="10.0.0.2")
+    assert not qp.connected()
+    bound = qp.with_remote_qp(5)
+    assert bound.connected()
+    with pytest.raises(ValueError):
+        qp.with_remote_qp(-2)
+
+
+def test_poll_respects_max_entries():
+    sim = Simulator()
+    arp = ArpServer()
+    a = TnicDevice(sim, 1, "10.0.0.1", "m-a", arp)
+    b = TnicDevice(sim, 2, "10.0.0.2", "m-b", arp)
+    Link(sim, a.mac, b.mac)
+    a.install_session(SESSION, KEY)
+    b.install_session(SESSION, KEY)
+    qp_a = QueuePair(qp_number=1, session_id=SESSION,
+                     local_ip="10.0.0.1", remote_ip="10.0.0.2")
+    qp_b = QueuePair(qp_number=2, session_id=SESSION,
+                     local_ip="10.0.0.2", remote_ip="10.0.0.1")
+    a.create_qp(qp_a)
+    b.create_qp(qp_b)
+    a.connect_qp(1, 2)
+    b.connect_qp(2, 1)
+    for i in range(5):
+        sim.run(a.send(1, f"m{i}".encode()))
+    sim.run()
+    first = b.poll(2, max_entries=2)
+    rest = b.poll(2, max_entries=10)
+    assert len(first) == 2
+    assert len(rest) == 3
+
+
+def test_device_stats_snapshot():
+    sim, a, b = None, None, None
+    sim = Simulator()
+    arp = ArpServer()
+    a = TnicDevice(sim, 1, "10.0.0.1", "m-a", arp)
+    b = TnicDevice(sim, 2, "10.0.0.2", "m-b", arp)
+    Link(sim, a.mac, b.mac)
+    a.install_session(SESSION, KEY)
+    b.install_session(SESSION, KEY)
+    qp_a = QueuePair(qp_number=1, session_id=SESSION,
+                     local_ip="10.0.0.1", remote_ip="10.0.0.2")
+    qp_b = QueuePair(qp_number=2, session_id=SESSION,
+                     local_ip="10.0.0.2", remote_ip="10.0.0.1")
+    a.create_qp(qp_a)
+    b.create_qp(qp_b)
+    a.connect_qp(1, 2)
+    b.connect_qp(2, 1)
+    for i in range(3):
+        sim.run(a.send(1, f"m{i}".encode()))
+    sim.run()
+    b.drain(2)
+    stats_a = a.stats()
+    stats_b = b.stats()
+    assert stats_a.attestations == 3
+    assert stats_b.verifications == 3
+    assert stats_b.rejections == 0
+    assert stats_a.tx_packets >= 3
+    assert stats_a.queue_pairs == 1
+    assert stats_a.dma_bytes > 0
+    assert "device 1" in stats_a.describe()
+
+
+def test_untrusted_device_stats_zero_attest():
+    sim = Simulator()
+    device = TnicDevice(sim, 9, "10.0.0.9", "m-x", ArpServer(), trusted=False)
+    stats = device.stats()
+    assert stats.attestations == 0
+    assert stats.verifications == 0

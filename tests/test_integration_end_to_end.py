@@ -1,0 +1,99 @@
+"""End-to-end integration: bootstrapping → session keys → trusted I/O.
+
+Ties the layers together the way a deployment would: the Manufacturer
+and IP vendor provision each TNIC device (Figure 3), the *delivered*
+session secrets are burnt into the device keystores, and the runtime
+stack then performs trusted sends whose attestations verify — while a
+device provisioned with different secrets cannot participate.
+"""
+
+import pytest
+
+from repro.api import auth_send
+from repro.api.connection import Cluster, ibv_sync
+from repro.api.ops import recv
+from repro.attest_protocol import IpVendor, Manufacturer, provision_device
+from repro.core.attestation import UnknownSessionError
+
+SESSION_ID = 42
+
+
+def provision_cluster(session_key_label: str, names=("alice", "bob")):
+    """Provision one device per node and install delivered secrets."""
+    manufacturer = Manufacturer()
+    vendor = IpVendor()
+    from repro.crypto.hashing import sha256
+
+    sessions = {SESSION_ID: sha256("deployment", session_key_label)}
+    cluster = Cluster(list(names))
+    for name in names:
+        result = provision_device(
+            manufacturer, vendor, f"dev-{name}", sessions
+        )
+        # The controller received the secrets over the attested TLS
+        # channel; burn them into the runtime device's keystore.
+        for session_id, key in result.device.received_secrets.items():
+            cluster[name].device.install_session(session_id, key)
+    return cluster
+
+
+def connect_with_session(cluster, a="alice", b="bob"):
+    node_a, node_b = cluster[a], cluster[b]
+    conn_a = node_a.ibv_qp_conn(node_b.ip, SESSION_ID)
+    conn_b = node_b.ibv_qp_conn(node_a.ip, SESSION_ID)
+    region_a = node_a.alloc_mem(4096)
+    region_b = node_b.alloc_mem(4096)
+    node_a.init_lqueue(region_a)
+    node_b.init_lqueue(region_b)
+    conn_a.tx_region = node_a.alloc_mem(4096)
+    conn_b.tx_region = node_b.alloc_mem(4096)
+    node_a.init_lqueue(conn_a.tx_region)
+    node_b.init_lqueue(conn_b.tx_region)
+    ibv_sync(conn_a, conn_b, region_a, region_b)
+    return conn_a, conn_b
+
+
+def test_provisioned_devices_exchange_verified_messages():
+    cluster = provision_cluster("prod-2026")
+    conn_a, conn_b = connect_with_session(cluster)
+    cluster.run(auth_send(conn_a, b"provisioned hello"))
+    cluster.run()
+    item = recv(conn_b)
+    assert item["payload"] == b"provisioned hello"
+    assert item["message"].session_id == SESSION_ID
+
+
+def test_unprovisioned_device_cannot_send_on_session():
+    cluster = Cluster(["alice", "bob"])  # no provisioning performed
+    conn_a = cluster["alice"].ibv_qp_conn(cluster["bob"].ip, SESSION_ID)
+    cluster["bob"].ibv_qp_conn(cluster["alice"].ip, SESSION_ID)
+    cluster["alice"].device.connect_qp(conn_a.qp_number, 9999)
+    conn_a.tx_region = cluster["alice"].alloc_mem(4096)
+    cluster["alice"].init_lqueue(conn_a.tx_region)
+    conn_a.synced = True
+    completion = auth_send(conn_a, b"no key")
+    with pytest.raises(UnknownSessionError):
+        cluster.run(completion)
+
+
+def test_differently_provisioned_deployments_do_not_interoperate():
+    """Two deployments provisioned with different root secrets share a
+    session id but not the key: cross-traffic never verifies."""
+    cluster = provision_cluster("deployment-A", names=("alice", "bob"))
+    # Re-provision bob's device under a different deployment secret by
+    # overwriting the cluster's second node with fresh keys is not
+    # possible (keystore is write-once), so build a second cluster and
+    # splice an attested message across.
+    other = provision_cluster("deployment-B", names=("carol", "dave"))
+    conn_a, _ = connect_with_session(cluster)
+    conn_c, conn_d = connect_with_session(other, a="carol", b="dave")
+
+    def attest_on_a():
+        return cluster["alice"].device.local_attest(SESSION_ID, b"cross")
+
+    message = cluster.run(attest_on_a())
+
+    def verify_on_d():
+        return other["dave"].device.local_verify(SESSION_ID, message)
+
+    assert other.run(verify_on_d()) is False

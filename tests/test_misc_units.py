@@ -1,0 +1,215 @@
+"""Unit tests for smaller surfaces: event API edges, latency helpers,
+FPGA model bounds, metrics accounting, and API error paths."""
+
+import pytest
+
+from repro.api import Cluster
+from repro.api.ops import local_verify, rem_read, rem_write
+from repro.core.resources import FpgaModel, ResourceUsage, U280
+from repro.sim import Simulator
+from repro.sim import latency as cal
+from repro.sim.events import Event
+from repro.systems.common import SystemMetrics
+
+
+# ---------------------------------------------------------------------------
+# Event API edges
+# ---------------------------------------------------------------------------
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(RuntimeError, match="before trigger"):
+        _ = event.value
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError, match="already triggered"):
+        event.succeed(2)
+    with pytest.raises(RuntimeError, match="already triggered"):
+        event.fail(ValueError("x"))
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_failed_event_value_raises_original():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(KeyError("gone"))
+    sim.run()
+    with pytest.raises(KeyError):
+        _ = event.value
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.timeout(10)
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run(proc)
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim._schedule_at(1.0, Event(sim))
+
+
+# ---------------------------------------------------------------------------
+# Latency helpers
+# ---------------------------------------------------------------------------
+
+def test_latency_functions_reject_negative_sizes():
+    with pytest.raises(ValueError):
+        cal.tnic_hmac_pipeline_us(-1)
+    with pytest.raises(ValueError):
+        cal.tnic_path_hmac_us(-1)
+
+
+def test_attest_breakdown_unknown_system():
+    with pytest.raises(ValueError):
+        cal.attest_breakdown("mystery")
+
+
+def test_breakdown_shares_sum_to_one():
+    for system in ("tnic", "sgx", "ssl-server", "amd-sev"):
+        b = cal.attest_breakdown(system)
+        total_share = (
+            b.share("transfer") + b.share("compute") + b.share("other")
+        )
+        assert total_share == pytest.approx(1.0)
+
+
+def test_emulated_attest_table_covers_all_providers():
+    assert set(cal.EMULATED_ATTEST_US) == {
+        "ssl-lib", "ssl-server", "sgx", "amd-sev", "tnic"
+    }
+    assert cal.EMULATED_ATTEST_US["ssl-lib"] == 0.0
+    assert cal.EMULATED_ATTEST_US["amd-sev"] == 30.0
+
+
+# ---------------------------------------------------------------------------
+# FPGA model
+# ---------------------------------------------------------------------------
+
+def test_resource_usage_arithmetic():
+    a = ResourceUsage(10, 20, 2)
+    b = ResourceUsage(1, 2, 1)
+    assert a + b == ResourceUsage(11, 22, 3)
+    assert b.scaled(3) == ResourceUsage(3, 6, 3)
+    with pytest.raises(ValueError):
+        b.scaled(-1)
+    assert b.fits_in(a)
+    assert not a.fits_in(b)
+
+
+def test_fpga_model_rejects_zero_connections():
+    with pytest.raises(ValueError):
+        FpgaModel().design_usage(0)
+
+
+def test_fpga_model_second_roce_kernel_beyond_500():
+    model = FpgaModel(capacity=ResourceUsage(10**9, 10**9, 10**9))
+    low = model.design_usage(500)
+    high = model.design_usage(501)
+    from repro.core.resources import ROCE_KERNEL, ATTESTATION_REPLICA_INCREMENT
+
+    extra = high.lut - low.lut
+    assert extra == ROCE_KERNEL.lut + ATTESTATION_REPLICA_INCREMENT.lut
+
+
+def test_single_connection_matches_table5_total():
+    usage = FpgaModel().design_usage(1)
+    assert usage.lut == 216_905
+    assert usage.ff == 423_891
+    assert usage.ramb36 == 335
+    assert usage.fits_in(U280)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+def test_metrics_empty_defaults():
+    metrics = SystemMetrics()
+    assert metrics.throughput_ops == 0.0
+    assert metrics.mean_latency_us == 0.0
+    assert metrics.percentile_latency_us(0.99) == 0.0
+
+
+def test_metrics_accounting():
+    metrics = SystemMetrics()
+    metrics.started_at = 0.0
+    for latency in (10.0, 20.0, 30.0):
+        metrics.record(latency)
+    metrics.finished_at = 60.0
+    assert metrics.committed == 3
+    assert metrics.mean_latency_us == 20.0
+    assert metrics.throughput_ops == pytest.approx(3 / 60e-6)
+    assert metrics.percentile_latency_us(0.0) == 10.0
+    assert metrics.percentile_latency_us(0.99) == 30.0
+
+
+# ---------------------------------------------------------------------------
+# API error paths
+# ---------------------------------------------------------------------------
+
+def test_rem_ops_require_remote_window():
+    cluster = Cluster(["a", "b"])
+    session_id, key = cluster.sessions.new_session()
+    cluster["a"].device.install_session(session_id, key)
+    cluster["b"].device.install_session(session_id, key)
+    conn = cluster["a"].ibv_qp_conn(cluster["b"].ip, session_id)
+    peer = cluster["b"].ibv_qp_conn(cluster["a"].ip, session_id)
+    from repro.api.connection import ibv_sync
+
+    conn.tx_region = cluster["a"].alloc_mem(4096)
+    cluster["a"].init_lqueue(conn.tx_region)
+    ibv_sync(conn, peer)  # no regions exchanged
+    with pytest.raises(RuntimeError, match="remote window"):
+        rem_write(conn, 0, b"x")
+    with pytest.raises(RuntimeError, match="remote window"):
+        rem_read(conn, 0, 4)
+
+
+def test_stage_rejects_oversized_payload():
+    cluster = Cluster(["a", "b"])
+    conn, _ = cluster.connect("a", "b", region_bytes=4096)
+    with pytest.raises(ValueError, match="larger than"):
+        conn.stage(b"x" * (conn.tx_region.size + 1))
+
+
+def test_stage_requires_tx_region():
+    from repro.api.connection import IbvConnection
+    from repro.roce.queue_pair import QueuePair
+
+    cluster = Cluster(["a", "b"])
+    session_id, _ = cluster.sessions.new_session()
+    conn = IbvConnection(
+        node=cluster["a"],
+        qp=QueuePair(qp_number=1, session_id=session_id,
+                     local_ip="10.0.0.1", remote_ip="10.0.0.2"),
+    )
+    with pytest.raises(RuntimeError, match="no tx region"):
+        conn.stage(b"x")

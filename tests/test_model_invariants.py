@@ -1,0 +1,69 @@
+"""State-space invariants of the verification models.
+
+Beyond the paper's trace lemmas, these check structural invariants over
+*every* reachable state of the symbolic models — the cheap-but-broad
+assurances Tamarin gets from its sources lemmas."""
+
+from repro.verification import TnicCommunicationModel, explore
+from repro.verification.consistency import ConsistencyModel
+from repro.verification.model import AttestationPhaseModel
+
+
+def test_recv_never_exceeds_send():
+    """A receiver can never have accepted more messages than were sent
+    (counters can't run ahead of the sender's)."""
+    model = TnicCommunicationModel(max_sends=3)
+    reached, _ = explore(model, max_depth=7)
+    for state, labels in reached:
+        assert state.recv_cnt <= state.send_cnt, labels
+
+
+def test_trace_events_match_counters():
+    """The number of send/accept action facts equals the counter state
+    (the trace is a faithful record)."""
+    model = TnicCommunicationModel(max_sends=3)
+    reached, _ = explore(model, max_depth=7)
+    for state, _labels in reached:
+        sends = sum(1 for e in state.trace if e.kind == "send")
+        accepts = sum(1 for e in state.trace if e.kind == "accept")
+        assert sends == state.send_cnt
+        assert accepts == state.recv_cnt
+
+
+def test_observed_messages_have_unique_counters():
+    """The hardware assigns every published message a unique counter —
+    even for an equivocating sender (non-equivocation's root cause)."""
+    model = ConsistencyModel(max_sends=3, equivocating=True)
+    reached, _ = explore(model, max_depth=7)
+    for state, _labels in reached:
+        counters = [m.counter for m in state.observed]
+        assert len(counters) == len(set(counters))
+
+
+def test_consistency_receiver_counts_bounded_by_sends():
+    model = ConsistencyModel(max_sends=2, equivocating=True)
+    reached, _ = explore(model, max_depth=7)
+    for state, _labels in reached:
+        assert len(state.accepted_r1) <= state.send_cnt
+        assert len(state.accepted_r2) <= state.send_cnt
+
+
+def test_attestation_model_vendor_done_at_most_once():
+    model = AttestationPhaseModel()
+    reached, _ = explore(model, max_depth=8)
+    for state, _labels in reached:
+        vendor_done = sum(1 for e in state.trace if e.kind == "vendor_done")
+        assert vendor_done <= 1
+
+
+def test_exploration_is_deterministic():
+    a, explored_a = explore(TnicCommunicationModel(max_sends=2), max_depth=6)
+    b, explored_b = explore(TnicCommunicationModel(max_sends=2), max_depth=6)
+    assert explored_a == explored_b
+    assert [labels for _, labels in a] == [labels for _, labels in b]
+
+
+def test_state_count_grows_with_depth():
+    shallow = explore(TnicCommunicationModel(max_sends=3), max_depth=3)[1]
+    deep = explore(TnicCommunicationModel(max_sends=3), max_depth=7)[1]
+    assert deep > shallow

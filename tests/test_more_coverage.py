@@ -1,0 +1,153 @@
+"""Additional coverage: driver conversions, rdma_lib failure paths,
+RSA properties, provider verify failure, transform history bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Cluster
+from repro.crypto.rsa import generate_keypair
+from repro.stack.driver import _ip_to_int, _mac_to_int
+from repro.stack.memory import MemoryError_
+from repro.stack.rdma_lib import WorkRequest
+from repro.net.packet import RdmaOpcode
+
+_KEYS = generate_keypair(seed="shared-property-key")
+
+
+# ---------------------------------------------------------------------------
+# Driver address conversions
+# ---------------------------------------------------------------------------
+
+def test_mac_to_int_parses_colon_form():
+    assert _mac_to_int("02:00:00:00:00:0f") == 0x0200_0000_000F
+
+
+def test_mac_to_int_fallback_hash():
+    value = _mac_to_int("not-a-mac")
+    assert 0 <= value < 2**48
+    assert _mac_to_int("not-a-mac") == value
+
+
+def test_mac_to_int_bad_hex_falls_back():
+    value = _mac_to_int("zz:00:00:00:00:01")
+    assert 0 <= value < 2**48
+
+
+def test_ip_to_int_parses_dotted_quad():
+    assert _ip_to_int("10.0.0.1") == (10 << 24) | 1
+    assert _ip_to_int("255.255.255.255") == 0xFFFF_FFFF
+
+
+def test_ip_to_int_fallback():
+    assert 0 <= _ip_to_int("fe80::1") < 2**32
+    assert 0 <= _ip_to_int("300.1.2.3") < 2**32
+
+
+# ---------------------------------------------------------------------------
+# rdma_lib failure path
+# ---------------------------------------------------------------------------
+
+def test_post_with_unregistered_address_fails():
+    cluster = Cluster(["a", "b"])
+    conn, _ = cluster.connect("a", "b")
+    request = WorkRequest(
+        opcode=RdmaOpcode.SEND,
+        qp_number=conn.qp_number,
+        local_addr=0xDEAD_0000,
+        length=16,
+    )
+    done = cluster["a"].rdma.post(request)
+    with pytest.raises(MemoryError_):
+        cluster.run(done)
+    # The REG-page lock was released despite the failure.
+    assert not cluster["a"].process.contended
+
+
+# ---------------------------------------------------------------------------
+# RSA properties
+# ---------------------------------------------------------------------------
+
+@given(st.binary(min_size=0, max_size=128))
+@settings(max_examples=40, deadline=None)
+def test_rsa_sign_verify_any_message(message):
+    signature = _KEYS.sign(message)
+    assert _KEYS.public.verify(message, signature)
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_rsa_signature_not_transferable_between_messages(m1, m2):
+    signature = _KEYS.sign(m1)
+    assert _KEYS.public.verify(m2, signature) == (m1 == m2)
+
+
+@given(st.integers(min_value=1, max_value=2**64))
+@settings(max_examples=40, deadline=None)
+def test_rsa_random_signatures_rejected(candidate):
+    assert not _KEYS.public.verify(b"target message", candidate)
+
+
+def test_rsa_minimum_bits_enforced():
+    with pytest.raises(ValueError):
+        generate_keypair(bits=128)
+
+
+def test_rsa_fingerprint_stable():
+    assert _KEYS.public.fingerprint() == _KEYS.public.fingerprint()
+    assert len(_KEYS.public.fingerprint()) == 16
+
+
+# ---------------------------------------------------------------------------
+# Provider verify failure propagation
+# ---------------------------------------------------------------------------
+
+def test_provider_verify_failure_fails_event():
+    from repro.core.attestation import AttestedMessage, MacMismatchError
+    from repro.sim import Simulator
+    from repro.tee import make_provider
+
+    sim = Simulator()
+    provider = make_provider("tnic", sim, 1)
+    provider.install_session(1, b"k" * 32)
+    genuine = provider.kernel.attest(1, b"data")
+    forged = AttestedMessage(
+        payload=b"evil", alpha=genuine.alpha, session_id=1,
+        device_id=genuine.device_id, counter=genuine.counter,
+    )
+    event = provider.verify(1, forged)
+    with pytest.raises(MacMismatchError):
+        sim.run(event)
+
+
+# ---------------------------------------------------------------------------
+# Transform history bounds
+# ---------------------------------------------------------------------------
+
+def test_transform_history_is_bounded():
+    from repro.api import BftTransform
+    from repro.crypto.hashing import sha256
+
+    cluster = Cluster(["s", "r"])
+    conn, _ = cluster.connect("s", "r")
+    counter = {"n": 0}
+
+    def digest():
+        return sha256("state", counter["n"])
+
+    transform = BftTransform(conn, digest)
+    for i in range(200):
+        counter["n"] = i
+        transform._remember_own_state()
+    assert len(transform._own_history) <= BftTransform.HISTORY
+
+
+def test_observe_peer_state_validates_length():
+    from repro.api import BftTransform
+    from repro.crypto.hashing import sha256
+
+    cluster = Cluster(["s", "r"])
+    conn, _ = cluster.connect("s", "r")
+    transform = BftTransform(conn, lambda: sha256("x"))
+    with pytest.raises(ValueError):
+        transform.observe_peer_state(b"short")

@@ -1,0 +1,132 @@
+"""Tests for equivocation-free multicast (§6.1)."""
+
+import pytest
+
+from repro.api import Cluster
+from repro.api.multicast import (
+    MulticastGroup,
+    MulticastViolation,
+    decode_attested,
+    encode_attested,
+)
+from repro.core.attestation import AttestedMessage
+
+
+def make_group(n_receivers=2):
+    names = ["leader"] + [f"f{i}" for i in range(n_receivers)]
+    cluster = Cluster(names)
+    group = MulticastGroup.create(cluster, "leader", names[1:])
+    return cluster, group
+
+
+def deliver_all(cluster, group):
+    """Drain every receiver; returns {receiver_index: [payloads]}."""
+    out = {}
+    for i, receiver in enumerate(group.receivers):
+        payloads = []
+        while True:
+            event = receiver.deliver()
+            if event is None:
+                break
+            payloads.append(cluster.run(event))
+        out[i] = payloads
+    return out
+
+
+def test_frame_roundtrip():
+    message = AttestedMessage(
+        payload=b"data", alpha=b"a" * 32, session_id=5, device_id=9,
+        counter=17,
+    )
+    assert decode_attested(encode_attested(message)) == message
+
+
+def test_frame_truncation_rejected():
+    with pytest.raises(MulticastViolation):
+        decode_attested(b"short")
+    message = AttestedMessage(b"x", b"a" * 32, 1, 1, 0)
+    frame = encode_attested(message)
+    with pytest.raises(MulticastViolation):
+        decode_attested(frame[:20])
+
+
+def test_multicast_delivers_identical_payload_everywhere():
+    cluster, group = make_group(2)
+
+    def run():
+        yield from group.send(b"decision-0")
+        yield from group.send(b"decision-1")
+
+    cluster.run(cluster.sim.process(run()))
+    cluster.run()
+    delivered = deliver_all(cluster, group)
+    assert delivered[0] == [b"decision-0", b"decision-1"]
+    assert delivered[1] == [b"decision-0", b"decision-1"]
+
+
+def test_single_attestation_per_multicast():
+    """One local_send per group send: the counter advances once no
+    matter how many receivers."""
+    cluster, group = make_group(3)
+
+    def run():
+        first = yield from group.send(b"a")
+        second = yield from group.send(b"b")
+        return first, second
+
+    first, second = cluster.run(cluster.sim.process(run()))
+    assert first.counter == 0
+    assert second.counter == 1
+
+
+def test_receiver_detects_counter_gap():
+    """Dropping a multicast at one receiver surfaces as a counter gap
+    (no silent divergence between receivers)."""
+    cluster, group = make_group(2)
+
+    def run():
+        yield from group.send(b"m0")
+        yield from group.send(b"m1")
+
+    cluster.run(cluster.sim.process(run()))
+    cluster.run()
+    victim = group.receivers[0]
+    # Adversarial host drops m0 before the application sees it.
+    from repro.api.ops import recv
+
+    recv(victim.conn)
+    event = victim.deliver()  # this is m1, counter 1, expected 0
+    with pytest.raises(MulticastViolation, match="equivocation or replay"):
+        cluster.run(event)
+
+
+def test_forged_frame_rejected():
+    cluster, group = make_group(1)
+
+    def run():
+        yield from group.send(b"honest")
+
+    cluster.run(cluster.sim.process(run()))
+    cluster.run()
+    receiver = group.receivers[0]
+    from repro.api.ops import recv
+
+    item = recv(receiver.conn)
+    message = decode_attested(item["payload"])
+    forged = AttestedMessage(
+        payload=b"forged", alpha=message.alpha,
+        session_id=message.session_id, device_id=message.device_id,
+        counter=message.counter,
+    )
+    # Feed the forged frame through verification directly.
+    sim = receiver.conn.node.sim
+    done = receiver.conn.node.device.local_verify(
+        receiver.broadcast_session, forged
+    )
+    assert cluster.run(done) is False
+
+
+def test_group_requires_receivers():
+    cluster = Cluster(["a", "b"])
+    with pytest.raises(ValueError):
+        MulticastGroup.create(cluster, "a", [])

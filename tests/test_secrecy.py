@@ -1,0 +1,114 @@
+"""Tests for the Appendix-B secrecy lemmas (Dolev–Yao closure)."""
+
+from repro.verification.secrecy import (
+    Atom,
+    BITSTREAM,
+    HW_KEY,
+    Kdf,
+    Mac,
+    Pair,
+    Pub,
+    SEnc,
+    SESSION_KEY,
+    bitstream_secret,
+    hw_key_secret,
+    protocol_run_observations,
+    saturate,
+    session_key_secret,
+)
+
+
+# ---------------------------------------------------------------------------
+# Closure engine
+# ---------------------------------------------------------------------------
+
+def test_unpairing():
+    a, b = Atom("a"), Atom("b")
+    knowledge = saturate([Pair(a, b)])
+    assert a in knowledge and b in knowledge
+
+
+def test_decrypt_with_known_key():
+    m, k = Atom("m"), Atom("k")
+    assert m in saturate([SEnc(m, k), k])
+    assert m not in saturate([SEnc(m, k)])
+
+
+def test_nested_decryption():
+    m, k1, k2 = Atom("m"), Atom("k1"), Atom("k2")
+    layered = SEnc(SEnc(m, k2), k1)
+    assert m in saturate([layered, k1, k2])
+    assert m not in saturate([layered, k1])
+
+
+def test_mac_reveals_nothing():
+    m, k = Atom("m"), Atom("k")
+    knowledge = saturate([Mac(m, k)])
+    assert m not in knowledge and k not in knowledge
+
+
+def test_kdf_reconstructed_only_with_all_inputs():
+    a, b = Atom("a"), Atom("b")
+    key = Kdf((a, b))
+    assert key in saturate([SEnc(Atom("m"), key), a, b])
+    assert key not in saturate([SEnc(Atom("m"), key), a])
+
+
+def test_pub_is_one_way():
+    x = Atom("x")
+    assert x not in saturate([Pub(x)])
+    assert Pub(x) in saturate([SEnc(Atom("m"), Pub(x)), x])
+
+
+def test_kdf_key_opens_ciphertext():
+    a, b, m = Atom("a"), Atom("b"), Atom("m")
+    key = Kdf((a, b))
+    assert m in saturate([SEnc(m, key), a, b])
+
+
+# ---------------------------------------------------------------------------
+# Protocol lemmas
+# ---------------------------------------------------------------------------
+
+def test_hw_key_priv_secret():
+    assert hw_key_secret()
+
+
+def test_session_key_secret():
+    assert session_key_secret()
+
+
+def test_session_key_forward_secrecy():
+    """'past symmetric keys stay secret even if the hardware key is
+    compromised in the future after the session is completed.'"""
+    assert session_key_secret(compromise_hw_key_later=True)
+
+
+def test_bitstream_secret():
+    assert bitstream_secret()
+    assert bitstream_secret(compromise_hw_key_later=True)
+
+
+# ---------------------------------------------------------------------------
+# Broken variants: the analysis must detect real leaks
+# ---------------------------------------------------------------------------
+
+def test_key_on_wire_leaks_bitstream():
+    assert not bitstream_secret(weaken_key_on_wire=True)
+
+
+def test_kdf_from_hw_key_breaks_forward_secrecy():
+    """If the session key were derived from the hardware key, a later
+    compromise would reveal past sessions."""
+    assert not session_key_secret(
+        compromise_hw_key_later=True, weaken_kdf_from_hw_key=True
+    )
+    # Without the compromise the weak KDF is still (barely) fine.
+    assert session_key_secret(weaken_kdf_from_hw_key=True)
+
+
+def test_observed_wire_terms_never_include_raw_secrets():
+    wire = protocol_run_observations()
+    assert HW_KEY not in wire
+    assert SESSION_KEY not in wire
+    assert BITSTREAM not in wire

@@ -1,0 +1,249 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import DeterministicRng, Pipe, Resource, Simulator, Store
+from repro.sim.clock import EmptySchedule
+from repro.sim.events import Interrupt
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    t = sim.timeout(5.0, "done")
+    assert sim.run(t) == "done"
+    assert sim.now == 5.0
+
+
+def test_timeouts_fire_in_order():
+    sim = Simulator()
+    seen = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.timeout(delay).callbacks.append(
+            lambda _e, d=delay: seen.append((d, sim.now))
+        )
+    sim.run()
+    assert seen == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_step_on_empty_schedule_raises():
+    sim = Simulator()
+    with pytest.raises(EmptySchedule):
+        sim.step()
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+
+
+def test_process_sequencing_and_return_value():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(2.0)
+        yield sim.timeout(3.0)
+        return "finished"
+
+    proc = sim.process(worker())
+    assert sim.run(proc) == "finished"
+    assert sim.now == 5.0
+
+
+def test_process_waits_on_other_process():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield sim.timeout(4.0)
+        log.append(("child", sim.now))
+        return 42
+
+    def parent():
+        result = yield sim.process(child())
+        log.append(("parent", sim.now))
+        return result
+
+    assert sim.run(sim.process(parent())) == 42
+    assert log == [("child", 4.0), ("parent", 4.0)]
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    proc = sim.process(failing())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run(proc)
+
+
+def test_process_interrupt():
+    sim = Simulator()
+    outcome = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as exc:
+            outcome.append(exc.cause)
+        return "woken"
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(5.0)
+        proc.interrupt("wake-up")
+
+    sim.process(interrupter())
+    assert sim.run(proc) == "woken"
+    assert outcome == ["wake-up"]
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    proc = sim.process(bad())
+    with pytest.raises(TypeError):
+        sim.run(proc)
+
+
+def test_any_of_and_all_of():
+    sim = Simulator()
+    fast = sim.timeout(1.0, "fast")
+    slow = sim.timeout(5.0, "slow")
+
+    def waiter():
+        first = yield sim.any_of([fast, slow])
+        assert fast in first
+        both = yield sim.all_of([fast, slow])
+        return sorted(both.values())
+
+    assert sim.run(sim.process(waiter())) == ["fast", "slow"]
+    assert sim.now == 5.0
+
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    lock = Resource(sim, capacity=1)
+    order = []
+
+    def user(name, hold):
+        yield lock.acquire()
+        order.append((name, "in", sim.now))
+        yield sim.timeout(hold)
+        order.append((name, "out", sim.now))
+        lock.release()
+
+    sim.process(user("a", 3.0))
+    sim.process(user("b", 2.0))
+    sim.run()
+    assert order == [
+        ("a", "in", 0.0),
+        ("a", "out", 3.0),
+        ("b", "in", 3.0),
+        ("b", "out", 5.0),
+    ]
+
+
+def test_resource_release_without_acquire():
+    sim = Simulator()
+    lock = Resource(sim)
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+def test_store_fifo_and_blocking():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(2):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(1.0)
+        store.put("x")
+        yield sim.timeout(1.0)
+        store.put("y")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("x", 1.0), ("y", 2.0)]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(1)
+    assert store.try_get() == 1
+
+
+def test_pipe_serialises_transfers():
+    sim = Simulator()
+    pipe = Pipe(sim, bandwidth_bytes_per_us=100.0, propagation_us=1.0)
+    done = []
+    pipe.transfer(200).callbacks.append(lambda _e: done.append(sim.now))
+    pipe.transfer(100).callbacks.append(lambda _e: done.append(sim.now))
+    sim.run()
+    # First: 2us serialisation + 1us propagation; second queues behind it.
+    assert done == [pytest.approx(3.0), pytest.approx(4.0)]
+    assert pipe.bytes_transferred == 300
+
+
+def test_rng_determinism_and_stream_independence():
+    a1 = DeterministicRng(7, "x")
+    a2 = DeterministicRng(7, "x")
+    b = DeterministicRng(7, "y")
+    seq1 = [a1.random() for _ in range(5)]
+    seq2 = [a2.random() for _ in range(5)]
+    seq3 = [b.random() for _ in range(5)]
+    assert seq1 == seq2
+    assert seq1 != seq3
+
+
+def test_rng_chance_bounds():
+    rng = DeterministicRng(1)
+    with pytest.raises(ValueError):
+        rng.chance(1.5)
+    assert rng.chance(0.0) is False
+    assert rng.chance(1.0) is True
+
+
+def test_store_cancel_get_prevents_item_swallowing():
+    sim = Simulator()
+    store = Store(sim)
+    abandoned = store.get()
+    store.cancel_get(abandoned)
+    store.put("item")
+    assert store.try_get() == "item"
+    # Cancelling twice (or a fulfilled get) is a no-op.
+    store.cancel_get(abandoned)
+
+
+def test_store_abandoned_get_would_swallow_without_cancel():
+    sim = Simulator()
+    store = Store(sim)
+    abandoned = store.get()
+    store.put("item")
+    sim.run()
+    # The abandoned getter consumed it (documented hazard).
+    assert store.try_get() is None
+    assert abandoned.value == "item"

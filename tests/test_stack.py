@@ -1,0 +1,190 @@
+"""Unit tests for the TNIC network stack (§5)."""
+
+import pytest
+
+from repro.core import TnicDevice
+from repro.net import ArpServer
+from repro.sim import Simulator
+from repro.stack import (
+    HugePageArea,
+    IbvMemory,
+    MappedRegsPage,
+    MemoryError_,
+    TnicDriver,
+    TnicOsLibrary,
+)
+from repro.stack.driver import StaticConfig
+from repro.stack.memory import HUGE_PAGE_BYTES
+from repro.stack.regs import PAGE_SIZE, RegField
+
+
+# ---------------------------------------------------------------------------
+# Mapped REGs pages
+# ---------------------------------------------------------------------------
+
+def test_regs_read_write_roundtrip():
+    regs = MappedRegsPage(0)
+    regs.write_u64(RegField.CTRL_LENGTH, 4096)
+    assert regs.read_u64(RegField.CTRL_LENGTH) == 4096
+    assert regs.pseudo_device_path == "/dev/fpga0"
+
+
+def test_regs_doorbell_triggers_device_handler():
+    regs = MappedRegsPage(1)
+    rings = []
+    regs.on_doorbell(lambda: rings.append(regs.staged_request()))
+    regs.write_u64(RegField.CTRL_OPCODE, 2)
+    regs.write_u64(RegField.CTRL_LENGTH, 128)
+    regs.write_u64(RegField.CTRL_DOORBELL, 1)
+    assert regs.doorbell_rings == 1
+    assert rings[0]["opcode"] == 2
+    assert rings[0]["length"] == 128
+
+
+def test_regs_bounds_and_alignment():
+    regs = MappedRegsPage(0)
+    with pytest.raises(ValueError):
+        regs.write_u64(PAGE_SIZE, 0)
+    with pytest.raises(ValueError):
+        regs.write_u64(0x3, 0)
+    with pytest.raises(ValueError):
+        regs.write_u64(RegField.CTRL_OPCODE, 2**64)
+
+
+def test_regs_status_accumulates():
+    regs = MappedRegsPage(0)
+    regs.post_status(completions=2)
+    regs.post_status(completions=3, errors=1)
+    assert regs.read_u64(RegField.STATUS_COMPLETIONS) == 5
+    assert regs.read_u64(RegField.STATUS_ERRORS) == 1
+
+
+# ---------------------------------------------------------------------------
+# ibv memory
+# ---------------------------------------------------------------------------
+
+def test_hugepage_allocation_is_page_aligned():
+    area = HugePageArea()
+    region = area.allocate(100)
+    assert region.size == HUGE_PAGE_BYTES
+    assert area.allocated_bytes == HUGE_PAGE_BYTES
+    big = area.allocate(HUGE_PAGE_BYTES + 1)
+    assert big.size == 2 * HUGE_PAGE_BYTES
+    assert big.base >= region.base + region.size
+
+
+def test_allocation_rejects_nonpositive_size():
+    with pytest.raises(MemoryError_):
+        HugePageArea().allocate(0)
+
+
+def test_memory_read_write_roundtrip():
+    region = HugePageArea().allocate(1024)
+    region.write(region.base + 10, b"hello")
+    assert region.read(region.base + 10, 5) == b"hello"
+
+
+def test_memory_bounds_checked():
+    region = HugePageArea().allocate(1024)
+    with pytest.raises(MemoryError_):
+        region.read(region.base - 1, 4)
+    with pytest.raises(MemoryError_):
+        region.write(region.base + region.size - 2, b"xxxx")
+    assert not region.contains(region.base - 1)
+    assert region.contains(region.base, region.size)
+
+
+def test_dma_requires_registration():
+    region = HugePageArea().allocate(1024)
+    with pytest.raises(MemoryError_):
+        region.dma_write(region.base, b"x")
+    region.register()
+    region.dma_write(region.base, b"x")
+    assert region.dma_read(region.base, 1) == b"x"
+
+
+def test_remote_access_gated_by_rkey():
+    area = HugePageArea()
+    region = area.allocate(1024)
+    other = area.allocate(1024)
+    region.register()
+    region.remote_write(region.rkey, region.base, b"ok")
+    with pytest.raises(MemoryError_, match="rkey"):
+        region.remote_write(other.rkey, region.base, b"no")
+    assert region.remote_read(region.rkey, region.base, 2) == b"ok"
+
+
+# ---------------------------------------------------------------------------
+# Driver and OS library
+# ---------------------------------------------------------------------------
+
+def make_device(sim):
+    return TnicDevice(sim, 1, "10.0.0.1", "02:00:00:00:00:01", ArpServer())
+
+
+def test_driver_initialises_and_maps_device():
+    sim = Simulator()
+    driver = TnicDriver(sim)
+    device = make_device(sim)
+    regs = driver.initialise(
+        device, StaticConfig(mac_address="02:00:00:00:00:01", ip="10.0.0.1")
+    )
+    assert regs.read_u64(RegField.STATUS_READY) == 1
+    assert regs.read_u64(RegField.CONFIG_IP) == (10 << 24) | 1
+    assert driver.mapping_for(0) is regs
+
+
+def test_driver_rejects_mismatched_ip():
+    sim = Simulator()
+    driver = TnicDriver(sim)
+    device = make_device(sim)
+    with pytest.raises(ValueError):
+        driver.initialise(
+            device, StaticConfig(mac_address="02:00:00:00:00:01", ip="10.9.9.9")
+        )
+
+
+def test_static_config_validation():
+    with pytest.raises(ValueError):
+        StaticConfig(mac_address="", ip="10.0.0.1")
+    with pytest.raises(ValueError):
+        StaticConfig(mac_address="m", ip="10.0.0.1", qsfp_port=2)
+
+
+def test_driver_unknown_mapping():
+    driver = TnicDriver(Simulator())
+    with pytest.raises(KeyError):
+        driver.mapping_for(3)
+
+
+def test_os_library_one_process_per_device():
+    sim = Simulator()
+    library = TnicOsLibrary(sim)
+    regs = MappedRegsPage(0)
+    p1 = library.open_device(regs)
+    p2 = library.open_device(regs)
+    assert p1 is p2
+    assert len(library) == 1
+    assert library.process_for(0) is p1
+    with pytest.raises(KeyError):
+        library.process_for(9)
+
+
+def test_tnic_process_lock_serialises_reg_access():
+    sim = Simulator()
+    library = TnicOsLibrary(sim)
+    process = library.open_device(MappedRegsPage(0))
+    order = []
+
+    def user(name):
+        yield process.exclusive_regs()
+        order.append((name, "in"))
+        yield sim.timeout(5.0)
+        order.append((name, "out"))
+        process.release_regs()
+
+    sim.process(user("a"))
+    sim.process(user("b"))
+    sim.run()
+    assert order == [("a", "in"), ("a", "out"), ("b", "in"), ("b", "out")]
+    assert process.requests_scheduled == 2

@@ -1,0 +1,113 @@
+"""Tests for the §8.2 network-stack models (Figures 8-9 shapes)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim import latency as cal
+from repro.stacks import (
+    ALL_STACKS,
+    make_stack,
+    measure_latency,
+    measure_throughput,
+)
+from repro.stacks.variants import DrctIoStack, RdmaHwStack, TnicStack
+
+
+def test_make_stack_and_unknown():
+    sim = Simulator()
+    for name in ALL_STACKS:
+        assert make_stack(name, sim).name == name
+    with pytest.raises(ValueError):
+        make_stack("bogus", sim)
+
+
+def test_rdma_hw_latency_range():
+    """'RDMA-hw still achieves 3x lower latency (5-5.5us)' small,
+    'up to 19 us' at 16 KiB."""
+    assert 5.0 <= cal.rdma_hw_send_us(64) <= 5.5
+    assert 17.0 <= cal.rdma_hw_send_us(16384) <= 19.5
+
+
+def test_drct_io_latency_range():
+    """'minimal latency (16-16.6us) for small packet sizes up to 1 KiB'
+    and 'latencies up to 100us' at 16 KiB."""
+    assert 16.0 <= cal.drct_io_send_us(64) <= 16.6
+    assert 16.0 <= cal.drct_io_send_us(1024) <= 16.6
+    assert 90.0 <= cal.drct_io_send_us(16384) <= 110.0
+
+
+def test_rdma_hw_3x_to_5x_faster_than_drct_io():
+    """Fig 9: 'RDMA-hw is 3x-5x faster than DRCT-IO'."""
+    for size in (64, 256, 1024, 4096, 16384):
+        ratio = cal.drct_io_send_us(size) / cal.rdma_hw_send_us(size)
+        assert 2.8 <= ratio <= 6.0, f"size={size}: ratio={ratio}"
+
+
+def test_tnic_overhead_3x_to_20x_over_rdma_hw():
+    """'TNIC offers trusted networking with 3x-20x higher latencies
+    than the untrusted RDMA-hw'."""
+    small = cal.tnic_send_us(64) / cal.rdma_hw_send_us(64)
+    large = cal.tnic_send_us(16384) / cal.rdma_hw_send_us(16384)
+    assert 2.8 <= small <= 4.0
+    assert 17.0 <= large <= 22.0
+
+
+def test_tnic_latency_grows_with_size():
+    """HMAC 'fundamentally cannot be parallelized': doubling the size
+    increases latency monotonically, more steeply at large sizes."""
+    sizes = [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+    lats = [cal.tnic_send_us(s) for s in sizes]
+    assert all(b > a for a, b in zip(lats, lats[1:]))
+    small_growth = lats[1] / lats[0]
+    large_growth = lats[-1] / lats[-2]
+    assert large_growth > small_growth
+
+
+def test_drct_io_att_is_82us_then_collapses():
+    """'Compared to DRCT-IO-att (82us), TNIC is up to 5.6x faster.
+    DRCT-IO-att reports extreme latencies (2000us or more) for packet
+    sizes larger than 521B'."""
+    assert cal.drct_io_att_send_us(64) == pytest.approx(82.0, rel=0.02)
+    assert cal.drct_io_att_send_us(1024) >= 2000.0
+    ratio = cal.drct_io_att_send_us(64) / cal.tnic_send_us(64)
+    assert 4.5 <= ratio <= 6.0
+
+
+def test_tnic_att_cheaper_than_full_tnic():
+    for size in (64, 1024, 16384):
+        assert cal.tnic_att_send_us(size) < cal.tnic_send_us(size)
+
+
+def test_measured_latency_matches_model():
+    result = measure_latency(RdmaHwStack, 64, operations=50)
+    assert result.latency_us == pytest.approx(cal.rdma_hw_send_us(64), rel=0.01)
+    assert result.stack == "RDMA-hw"
+
+
+def test_throughput_exceeds_serial_rate():
+    serial = measure_latency(TnicStack, 1024, operations=50)
+    pipelined = measure_throughput(TnicStack, 1024, operations=500, outstanding=16)
+    assert pipelined.throughput_ops > 1.5 * serial.throughput_ops
+
+
+def test_throughput_ordering_small_packets():
+    """Fig 8: RDMA-hw tops the chart; TNIC pays the HMAC pipeline."""
+    results = {
+        cls.name: measure_throughput(cls, 512, operations=400)
+        for cls in (RdmaHwStack, DrctIoStack, TnicStack)
+    }
+    assert results["RDMA-hw"].throughput_ops > results["DRCT-IO"].throughput_ops
+    assert results["DRCT-IO"].throughput_ops > results["TNIC"].throughput_ops
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    stack = make_stack("TNIC", sim)
+    with pytest.raises(ValueError):
+        stack.send(-1)
+
+
+def test_measurement_describe_formats():
+    result = measure_latency(DrctIoStack, 128, operations=10)
+    text = result.describe()
+    assert "DRCT-IO" in text and "128" in text

@@ -1,0 +1,161 @@
+"""Model-checking tests: the paper's lemmas hold for the TNIC model
+and are violated by deliberately broken variants (§4.4, Appendix B)."""
+
+import pytest
+
+from repro.verification import (
+    AttestationPhaseModel,
+    BrokenNoCounterModel,
+    BrokenNoMacModel,
+    COMMUNICATION_LEMMAS,
+    TnicCommunicationModel,
+    check_lemma,
+    explore,
+    lemma_attestation_precedence,
+)
+from repro.verification.checker import reachable
+
+DEPTH = 7
+
+
+@pytest.mark.parametrize("name,lemma", sorted(COMMUNICATION_LEMMAS.items()))
+def test_communication_lemmas_hold_for_tnic(name, lemma):
+    model = TnicCommunicationModel(max_sends=3)
+    result = check_lemma(model, lemma, max_depth=DEPTH, name=name)
+    assert result.holds, result.describe()
+    assert result.states_explored > 10
+
+
+def test_sanity_protocol_can_deliver_all_messages():
+    """Tamarin's send_sanity analogue: a complete happy-path run exists."""
+    model = TnicCommunicationModel(max_sends=2)
+
+    def all_delivered(trace):
+        accepts = [e for e in trace if e.kind == "accept"]
+        return len(accepts) == 2
+
+    assert reachable(model, all_delivered, max_depth=DEPTH)
+
+
+def test_broken_no_counter_model_violates_replay_lemma():
+    """Removing the continuity check admits double acceptance."""
+    model = BrokenNoCounterModel(max_sends=2)
+    result = check_lemma(
+        model, COMMUNICATION_LEMMAS["no_double_messages"], max_depth=DEPTH
+    )
+    assert not result.holds
+    assert result.counterexample is not None
+    accepts = [e for e in result.counterexample if e.kind == "accept"]
+    assert len(accepts) > len({(e.payload, e.counter) for e in accepts})
+
+
+def test_broken_no_counter_model_violates_reordering_lemma():
+    model = BrokenNoCounterModel(max_sends=3)
+    result = check_lemma(
+        model, COMMUNICATION_LEMMAS["no_message_reordering"], max_depth=DEPTH
+    )
+    assert not result.holds
+
+
+def test_broken_no_mac_model_violates_authentication():
+    """Removing the MAC check lets injected messages be accepted."""
+    model = BrokenNoMacModel(max_sends=1)
+    result = check_lemma(
+        model, COMMUNICATION_LEMMAS["verified_msg_is_auth"], max_depth=DEPTH
+    )
+    assert not result.holds
+    assert any(
+        e.kind == "accept" and e.payload == "evil" for e in result.counterexample
+    )
+
+
+def test_compromised_key_breaks_authentication():
+    """Appendix B: key compromise is modelled; with the session key the
+    adversary can forge accepted messages."""
+    model = TnicCommunicationModel(max_sends=1, compromised=True)
+    result = check_lemma(
+        model, COMMUNICATION_LEMMAS["verified_msg_is_auth"], max_depth=DEPTH
+    )
+    assert not result.holds
+
+
+def test_uncompromised_adversary_cannot_inject():
+    """With only its own key, no injected message is ever accepted."""
+    model = TnicCommunicationModel(max_sends=2)
+    reached, _ = explore(model, max_depth=DEPTH)
+    for state, labels in reached:
+        assert not any(label.startswith("inject") for label in labels)
+
+
+def test_attestation_lemma_holds():
+    """Eq. 1: vendor completion implies prior device completion."""
+    model = AttestationPhaseModel()
+    result = check_lemma(
+        model, lemma_attestation_precedence, max_depth=6,
+        name="initialization_attested",
+    )
+    assert result.holds, result.describe()
+
+
+def test_attestation_sanity_vendor_can_finish():
+    model = AttestationPhaseModel()
+    assert reachable(
+        model,
+        lambda trace: any(e.kind == "vendor_done" for e in trace),
+        max_depth=6,
+    )
+
+
+def test_vendor_never_finishes_without_genuine_device():
+    """With no genuine device participating, forged/stale reports never
+    convince the vendor."""
+    model = AttestationPhaseModel(allow_genuine=False)
+    assert not reachable(
+        model,
+        lambda trace: any(e.kind == "vendor_done" for e in trace),
+        max_depth=8,
+    )
+
+
+def test_check_result_describe():
+    model = BrokenNoCounterModel(max_sends=2)
+    result = check_lemma(
+        model, COMMUNICATION_LEMMAS["no_double_messages"], max_depth=DEPTH
+    )
+    text = result.describe()
+    assert "VIOLATED" in text
+    assert "counterexample" in text
+
+    ok = check_lemma(
+        TnicCommunicationModel(max_sends=1),
+        COMMUNICATION_LEMMAS["no_double_messages"],
+        max_depth=4,
+    )
+    assert "verified" in ok.describe()
+
+
+def test_mac_splicing_never_accepted():
+    """Re-using a genuine MAC over modified fields (payload splice)
+    is explored by the model and never verifies."""
+    model = TnicCommunicationModel(max_sends=2)
+    reached, _ = explore(model, max_depth=DEPTH)
+    for _state, labels in reached:
+        assert not any(label.startswith("splice") for label in labels)
+
+
+def test_broken_mac_model_accepts_splices():
+    """The MAC-less mutant accepts spliced messages, confirming the
+    splice rule genuinely exercises the check.  (In full exploration
+    splice successors dedupe against inject successors, so the rule is
+    probed directly on a post-send state.)"""
+    model = BrokenNoMacModel(max_sends=1)
+    state = model.initial_state()
+    (_, after_send), *_ = list(model.transitions(state))
+    labels = [label for label, _ in model.transitions(after_send)]
+    assert any(label.startswith("splice") for label in labels)
+
+    sound = TnicCommunicationModel(max_sends=1)
+    sound_state = sound.initial_state()
+    (_, sound_after_send), *_ = list(sound.transitions(sound_state))
+    sound_labels = [label for label, _ in sound.transitions(sound_after_send)]
+    assert not any(label.startswith("splice") for label in sound_labels)
