@@ -1,4 +1,9 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Dispatches to :mod:`repro.cli`; see ``python -m repro --help`` for the
+demo/benchmark commands and ``python -m repro lint`` for the
+static-analysis gate (determinism, trusted boundaries, sim-safety).
+"""
 
 import sys
 

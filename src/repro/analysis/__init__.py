@@ -1,0 +1,97 @@
+"""Static analysis for the reproduction: determinism, boundaries, sim-safety.
+
+DESIGN.md promises two architectural invariants that nothing previously
+checked: the discrete-event simulation is deterministic (§2), and the
+trusted packages mirror the paper's minimal TCB (Table 4).  This package
+turns both into mechanically enforced, CI-gated properties:
+
+* :mod:`repro.analysis.walker`      — source discovery, ASTs, import graph;
+* :mod:`repro.analysis.rules`       — findings, registry, baseline/ignores;
+* :mod:`repro.analysis.determinism` — DET001–DET005 determinism lint;
+* :mod:`repro.analysis.boundaries`  — BND001 trusted-boundary DAG checker;
+* :mod:`repro.analysis.sim_safety`  — SIM001–SIM003 virtual-time safety;
+* :mod:`repro.analysis.report`      — text/JSON rendering, TCB accounting.
+
+Entry points: ``python -m repro lint`` (CLI), :func:`analyze_paths`
+(programmatic), and the tier-1 tests ``tests/test_analysis.py`` and
+``tests/test_tcb_boundaries.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.boundaries import (
+    BOUNDARY_MANIFEST,
+    TRUSTED_PACKAGES,
+    TrustedBoundaryRule,
+    check_boundaries,
+    is_trusted,
+)
+from repro.analysis.report import (
+    TcbReport,
+    default_tcb_artifact_path,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import (
+    Baseline,
+    Finding,
+    ProjectRule,
+    Rule,
+    default_baseline_path,
+    default_rules,
+    rule_catalog,
+    run_rules,
+)
+from repro.analysis.walker import (
+    SourceFile,
+    collect_sources,
+    default_package_root,
+    import_graph,
+    parse_file,
+)
+
+__all__ = [
+    "BOUNDARY_MANIFEST",
+    "Baseline",
+    "Finding",
+    "ProjectRule",
+    "Rule",
+    "SourceFile",
+    "TRUSTED_PACKAGES",
+    "TcbReport",
+    "TrustedBoundaryRule",
+    "analyze_paths",
+    "check_boundaries",
+    "collect_sources",
+    "default_baseline_path",
+    "default_package_root",
+    "default_rules",
+    "default_tcb_artifact_path",
+    "import_graph",
+    "is_trusted",
+    "parse_file",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "run_rules",
+]
+
+
+def analyze_paths(
+    paths: Iterable[Path] | None = None,
+    baseline_path: Path | None = None,
+) -> list[Finding]:
+    """Run every pass over *paths* (default: the installed ``repro`` package).
+
+    *baseline_path* defaults to the baseline shipped with the package;
+    pass a non-existent path to disable suppression entirely.
+    """
+    targets = [Path(p) for p in paths] if paths else [default_package_root()]
+    sources = collect_sources(targets)
+    baseline = Baseline.load(
+        baseline_path if baseline_path is not None else default_baseline_path()
+    )
+    return run_rules(sources, baseline=baseline)

@@ -1,0 +1,94 @@
+"""Trusted-boundary checker: the paper's minimal-TCB argument as a lint.
+
+TNIC's Table 4 claims a 2,114-LoC TCB precisely because the trusted
+hardware (attestation kernel + RoCE datapath) depends on nothing above
+it — not the OS, not the application, not the TEE runtimes.  This
+reproduction mirrors that layering: ``repro.core``, ``repro.crypto`` and
+the ``repro.roce`` datapath are the trusted substrate, and they must
+never grow a dependency on the untrusted world (``repro.systems``,
+``repro.tee``, ``repro.byzantine``, ``repro.bench``, ...) — otherwise
+the measured-TCB accounting and the security argument both rot.
+
+:data:`BOUNDARY_MANIFEST` is the declarative statement of that DAG: for
+each trusted package, the complete set of ``repro.*`` packages it may
+import at runtime.  ``if TYPE_CHECKING:`` imports are ignored (they
+never execute, so they add no trusted code).  The checker verifies the
+manifest against the *real* import graph extracted from the AST.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.analysis.rules import Finding, ProjectRule
+from repro.analysis.walker import SourceFile
+
+#: The trusted-boundary import DAG.  Keys are trusted packages; values
+#: are the only ``repro.*`` packages their runtime imports may touch.
+#: ``repro.sim`` and ``repro.net`` are infrastructure the trusted model
+#: is built *on* (virtual clock, links) — analogous to the FPGA shell —
+#: so they are constrained too: they must stay self-contained.
+BOUNDARY_MANIFEST: dict[str, frozenset[str]] = {
+    "repro.sim": frozenset({"repro.sim"}),
+    "repro.crypto": frozenset({"repro.crypto", "repro.sim"}),
+    "repro.net": frozenset({"repro.net", "repro.sim"}),
+    "repro.core": frozenset(
+        {"repro.core", "repro.crypto", "repro.net", "repro.roce", "repro.sim"}
+    ),
+    "repro.roce": frozenset(
+        {"repro.roce", "repro.core", "repro.crypto", "repro.net", "repro.sim"}
+    ),
+}
+
+#: Packages forming the measured TCB (Table-4 accounting); the rest of
+#: ``repro.*`` is untrusted host/application code.
+TRUSTED_PACKAGES: tuple[str, ...] = ("repro.core", "repro.crypto", "repro.roce")
+
+
+def owning_boundary(module: str) -> str | None:
+    """The manifest entry governing *module*, if any."""
+    for package in BOUNDARY_MANIFEST:
+        if module == package or module.startswith(package + "."):
+            return package
+    return None
+
+
+def is_trusted(module: str) -> bool:
+    """True when *module* counts toward the measured TCB."""
+    return any(
+        module == pkg or module.startswith(pkg + ".")
+        for pkg in TRUSTED_PACKAGES
+    )
+
+
+class TrustedBoundaryRule(ProjectRule):
+    rule_id = "BND001"
+    description = (
+        "trusted package imports outside its boundary manifest entry "
+        "(TCB layering violation)"
+    )
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        for src in sources:
+            boundary = owning_boundary(src.module)
+            if boundary is None:
+                continue
+            allowed = BOUNDARY_MANIFEST[boundary]
+            for edge in src.imports():
+                if edge.type_only or not edge.module.startswith("repro"):
+                    continue
+                target = edge.top_package()
+                if target == "repro":
+                    # `import repro` alone grants nothing below it.
+                    continue
+                if target not in allowed:
+                    yield self.finding(
+                        src, edge.line, 0,
+                        f"trusted `{boundary}` imports `{edge.module}` "
+                        f"(allowed: {', '.join(sorted(allowed))})",
+                    )
+
+
+def check_boundaries(sources: Sequence[SourceFile]) -> list[Finding]:
+    """Convenience wrapper used by the tier-1 boundary test."""
+    return list(TrustedBoundaryRule().check_project(sources))

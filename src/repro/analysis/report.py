@@ -1,0 +1,177 @@
+"""Finding rendering and measured-TCB accounting.
+
+Findings render in two modes: a human ``path:line:col RULE message``
+listing, and ``--format json`` — a stable, sorted document that can be
+diffed across PRs exactly like the benchmark artefacts.
+
+The TCB accounting backs Table 4 with measurement: it counts executable
+LoC per module from the AST (blank lines, comments and docstrings
+excluded — the same convention as ``cloc``-style tools the paper's
+2,114-LoC figure comes from), splits the total along
+:data:`~repro.analysis.boundaries.TRUSTED_PACKAGES`, and emits an
+artifact under ``benchmarks/results/`` so the trusted-vs-untrusted split
+is a measured quantity, not only a hardcoded constant.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.boundaries import TRUSTED_PACKAGES, is_trusted
+from repro.analysis.rules import Finding
+from repro.analysis.walker import SourceFile
+
+#: Default artifact location relative to the repository root.
+TCB_ARTIFACT_NAME = "tcb_loc_report.json"
+
+
+# ----------------------------------------------------------------------
+# Findings rendering
+# ----------------------------------------------------------------------
+
+def render_text(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "lint: clean (0 findings)"
+    lines = [finding.render() for finding in findings]
+    lines.append(f"lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "findings": [finding.to_json() for finding in findings],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# LoC accounting
+# ----------------------------------------------------------------------
+
+def _docstring_lines(tree: ast.Module) -> set[int]:
+    """Line numbers occupied by module/class/function docstrings."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        body = getattr(node, "body", [])
+        if not body:
+            continue
+        first = body[0]
+        if (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        ):
+            end = first.end_lineno or first.lineno
+            lines.update(range(first.lineno, end + 1))
+    return lines
+
+
+def executable_loc(src: SourceFile) -> int:
+    """Executable lines: total minus blanks, comments and docstrings."""
+    doc_lines = _docstring_lines(src.tree)
+    count = 0
+    for lineno, raw in enumerate(src.lines, start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#") or lineno in doc_lines:
+            continue
+        count += 1
+    return count
+
+
+@dataclass
+class TcbReport:
+    """Measured trusted-vs-untrusted code-size split."""
+
+    per_module: dict[str, int]
+
+    @classmethod
+    def from_sources(cls, sources: Sequence[SourceFile]) -> "TcbReport":
+        return cls({src.module: executable_loc(src) for src in sources})
+
+    @property
+    def trusted_loc(self) -> int:
+        return sum(
+            loc for module, loc in self.per_module.items() if is_trusted(module)
+        )
+
+    @property
+    def untrusted_loc(self) -> int:
+        return sum(
+            loc for module, loc in self.per_module.items() if not is_trusted(module)
+        )
+
+    def per_package(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for module, loc in self.per_module.items():
+            package = ".".join(module.split(".")[:2])
+            totals[package] = totals.get(package, 0) + loc
+        return totals
+
+    def to_json(self) -> dict:
+        from repro.core.resources import PAPER_TCB_LOC
+
+        return {
+            "trusted_packages": list(TRUSTED_PACKAGES),
+            "trusted_loc": self.trusted_loc,
+            "untrusted_loc": self.untrusted_loc,
+            "tcb_fraction": round(
+                self.trusted_loc / max(1, self.trusted_loc + self.untrusted_loc), 4
+            ),
+            "paper_tnic_tcb_loc": PAPER_TCB_LOC["tnic"],
+            "paper_tee_hosted_total_loc": (
+                PAPER_TCB_LOC["tee_os"]
+                + PAPER_TCB_LOC["tee_attestation"]
+                + PAPER_TCB_LOC["tee_raft_app"]
+            ),
+            "per_package": dict(sorted(self.per_package().items())),
+            "per_module": dict(sorted(self.per_module.items())),
+        }
+
+    def render(self) -> str:
+        payload = self.to_json()
+        width = max(len(name) for name in payload["per_package"])
+        lines = ["TCB accounting (measured executable LoC)"]
+        for package, loc in payload["per_package"].items():
+            tag = "trusted" if is_trusted(package) else ""
+            lines.append(f"  {package:<{width}}  {loc:6d}  {tag}")
+        lines.append(
+            f"  trusted total   {self.trusted_loc:6d} LoC "
+            f"(paper TNIC TCB: {payload['paper_tnic_tcb_loc']:,})"
+        )
+        lines.append(f"  untrusted total {self.untrusted_loc:6d} LoC")
+        lines.append(
+            f"  TCB fraction    {100 * payload['tcb_fraction']:5.1f}% of this repo"
+        )
+        return "\n".join(lines)
+
+    def write(self, path: Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+
+def default_tcb_artifact_path(start: Path | None = None) -> Path:
+    """``benchmarks/results/tcb_loc_report.json`` near *start* (or cwd).
+
+    Walks up from *start* looking for a ``benchmarks`` directory so the
+    artifact lands with the other reproduced tables; falls back to the
+    current directory when run outside a checkout.
+    """
+    current = Path(start) if start is not None else Path.cwd()
+    for candidate in (current, *current.parents):
+        bench = candidate / "benchmarks"
+        if bench.is_dir():
+            return bench / "results" / TCB_ARTIFACT_NAME
+    return current / TCB_ARTIFACT_NAME

@@ -1,0 +1,197 @@
+"""Rule framework: findings, the rule registry, baselines, suppressions.
+
+A *rule* inspects sources and yields :class:`Finding` records.  Two rule
+shapes exist: per-file rules (determinism, sim-safety) and project rules
+(trusted-boundary checking) that need the whole module set at once.
+
+Intentional exceptions are handled two ways, mirroring mature linters:
+
+* **inline** — a ``# lint: ignore[RULE-ID]`` comment on the offending
+  line suppresses that rule there, keeping the waiver next to the code;
+* **baseline** — a JSON file of fingerprinted findings accepted at some
+  point in time, so a new pass can be introduced without first fixing
+  (or blessing inline) every historical hit.  Fingerprints hash the
+  rule, the module, and the normalised source line — not the line
+  *number* — so unrelated edits above a waived line do not invalidate it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.walker import SourceFile
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9, -]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    module: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        basis = f"{self.rule}|{self.module}|{' '.join(self.snippet.split())}"
+        return hashlib.sha256(basis.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        payload = asdict(self)
+        payload["fingerprint"] = self.fingerprint()
+        return payload
+
+
+class Rule:
+    """A per-file analysis pass."""
+
+    rule_id: str = "XXX000"
+    description: str = ""
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, line: int, col: int, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            module=src.module,
+            path=str(src.path),
+            line=line,
+            col=col,
+            message=message,
+            snippet=src.line_text(line),
+        )
+
+
+class ProjectRule(Rule):
+    """A whole-project pass (sees every module at once)."""
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+
+def default_rules() -> list[Rule]:
+    """Every shipped pass, instantiated fresh."""
+    from repro.analysis.boundaries import TrustedBoundaryRule
+    from repro.analysis.determinism import DETERMINISM_RULES
+    from repro.analysis.sim_safety import SIM_SAFETY_RULES
+
+    rules: list[Rule] = [cls() for cls in DETERMINISM_RULES]
+    rules.extend(cls() for cls in SIM_SAFETY_RULES)
+    rules.append(TrustedBoundaryRule())
+    return rules
+
+
+def rule_catalog() -> dict[str, str]:
+    """``{rule_id: description}`` for every shipped rule."""
+    return {rule.rule_id: rule.description for rule in default_rules()}
+
+
+# ----------------------------------------------------------------------
+# Suppression: inline ignores and the baseline file
+# ----------------------------------------------------------------------
+
+def inline_ignores(src: SourceFile, line: int) -> set[str]:
+    """Rule IDs waived by a ``# lint: ignore[...]`` comment on *line*."""
+    match = _IGNORE_RE.search(src.line_text(line))
+    if not match:
+        return set()
+    return {part.strip() for part in match.group(1).split(",") if part.strip()}
+
+
+def _suppressed_inline(finding: Finding, sources_by_path: dict[str, SourceFile]) -> bool:
+    src = sources_by_path.get(finding.path)
+    if src is None:
+        return False
+    return finding.rule in inline_ignores(src, finding.line)
+
+
+@dataclass
+class Baseline:
+    """Accepted historical findings, keyed by fingerprint."""
+
+    fingerprints: set[str]
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path | None) -> "Baseline":
+        if path is None or not Path(path).exists():
+            return cls(set(), Path(path) if path else None)
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = payload.get("findings", [])
+        return cls({entry["fingerprint"] for entry in entries}, Path(path))
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+    @staticmethod
+    def write(path: Path, findings: Sequence[Finding]) -> None:
+        payload = {
+            "comment": (
+                "Accepted lint findings; regenerate with "
+                "`python -m repro lint --update-baseline`."
+            ),
+            "findings": sorted(
+                (
+                    {
+                        "rule": f.rule,
+                        "module": f.module,
+                        "snippet": f.snippet,
+                        "fingerprint": f.fingerprint(),
+                    }
+                    for f in findings
+                ),
+                key=lambda entry: (entry["rule"], entry["module"], entry["fingerprint"]),
+            ),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def default_baseline_path() -> Path:
+    """The baseline shipped inside the package (always present)."""
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def run_rules(
+    sources: Sequence[SourceFile],
+    rules: Iterable[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> list[Finding]:
+    """Run *rules* over *sources*, dropping suppressed findings."""
+    rules = list(rules) if rules is not None else default_rules()
+    sources_by_path = {str(src.path): src for src in sources}
+    findings: list[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(sources))
+        else:
+            for src in sources:
+                findings.extend(rule.check(src))
+    kept = []
+    for finding in findings:
+        if _suppressed_inline(finding, sources_by_path):
+            continue
+        if baseline is not None and baseline.contains(finding):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept

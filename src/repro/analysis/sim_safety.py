@@ -1,0 +1,113 @@
+"""Sim-safety pass: keep simulator processes on virtual time.
+
+A simulator process is a generator that yields
+:class:`~repro.sim.events.Event` objects; the event loop advances a
+*virtual* clock between resumptions.  Any real blocking call inside such
+a generator — sleeping on the OS clock, touching files or sockets —
+stalls the whole event loop in wall-clock time while virtual time stands
+still, desynchronising every latency measurement the benchmarks derive.
+
+Rules (applied only to functions that are themselves generators):
+
+* ``SIM001`` — ``time.sleep`` (use ``yield sim.timeout(...)``),
+* ``SIM002`` — file I/O (``open``/``io.open``/``Path.read_text``...),
+* ``SIM003`` — network/process blocking calls (``socket``,
+  ``subprocess``, ``os.system``, ``urllib``, ``http.client``...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.determinism import _exempt
+from repro.analysis.rules import Finding, Rule
+from repro.analysis.walker import (
+    SourceFile,
+    dotted_name,
+    is_generator,
+    iter_functions,
+    walk_own_body,
+)
+
+_FILE_IO_CALLS = {"open", "io.open", "tempfile.NamedTemporaryFile",
+                  "tempfile.TemporaryFile", "tempfile.mkstemp"}
+_FILE_IO_METHODS = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+_BLOCKING_PREFIXES = ("socket.", "subprocess.", "urllib.", "http.client.",
+                      "requests.")
+_BLOCKING_CALLS = {"os.system", "os.popen", "socket.create_connection"}
+
+
+class _GeneratorRule(Rule):
+    """Shared shape: flag calls inside generator (simulator-process) bodies."""
+
+    def match(self, name: str, node: ast.Call) -> str | None:
+        raise NotImplementedError
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if _exempt(src):
+            return
+        for func in iter_functions(src.tree):
+            if not is_generator(func):
+                continue
+            for node in walk_own_body(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                message = self.match(name, node)
+                if message:
+                    yield self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"in simulator process `{func.name}`: {message}",
+                    )
+
+
+class SleepInProcessRule(_GeneratorRule):
+    rule_id = "SIM001"
+    description = (
+        "time.sleep inside a simulator process; blocks the event loop "
+        "while virtual time stands still — yield sim.timeout(...) instead"
+    )
+
+    def match(self, name: str, node: ast.Call) -> str | None:
+        if name == "time.sleep":
+            return "`time.sleep()` blocks wall-clock; yield sim.timeout(...)"
+        return None
+
+
+class FileIoInProcessRule(_GeneratorRule):
+    rule_id = "SIM002"
+    description = (
+        "file I/O inside a simulator process; real I/O latency leaks "
+        "into the virtual-time measurement"
+    )
+
+    def match(self, name: str, node: ast.Call) -> str | None:
+        if name in _FILE_IO_CALLS:
+            return f"`{name}()` performs real file I/O"
+        if "." in name and name.rsplit(".", 1)[1] in _FILE_IO_METHODS:
+            return f"`{name}()` performs real file I/O"
+        return None
+
+
+class BlockingCallInProcessRule(_GeneratorRule):
+    rule_id = "SIM003"
+    description = (
+        "socket/subprocess/system call inside a simulator process; "
+        "model the interaction as events on the fabric instead"
+    )
+
+    def match(self, name: str, node: ast.Call) -> str | None:
+        if name in _BLOCKING_CALLS or name.startswith(_BLOCKING_PREFIXES):
+            return f"`{name}()` is a real blocking call"
+        return None
+
+
+SIM_SAFETY_RULES = (
+    SleepInProcessRule,
+    FileIoInProcessRule,
+    BlockingCallInProcessRule,
+)

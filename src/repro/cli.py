@@ -9,6 +9,8 @@ capabilities without writing code:
 * ``lemmas``     — model-check the §4.4 lemmas (plus secrecy).
 * ``attack``     — run the adversary campaigns and report the outcome.
 * ``resources``  — the Table-5 / Figure-13 FPGA resource analysis.
+* ``lint``       — the static-analysis passes (determinism, trusted
+  boundaries, sim-safety) plus the measured-TCB accounting report.
 """
 
 from __future__ import annotations
@@ -180,6 +182,50 @@ def _cmd_resources(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        Baseline,
+        TcbReport,
+        collect_sources,
+        default_baseline_path,
+        default_package_root,
+        default_tcb_artifact_path,
+        render_json,
+        render_text,
+        run_rules,
+    )
+
+    targets = [Path(p) for p in args.paths] or [default_package_root()]
+    for target in targets:
+        if not target.exists():
+            print(f"lint: no such path: {target}", file=sys.stderr)
+            return 2
+    sources = collect_sources(targets)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path()
+    )
+    if args.update_baseline:
+        findings = run_rules(sources, baseline=None)
+        Baseline.write(baseline_path, findings)
+        print(f"lint: wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    findings = run_rules(sources, baseline=Baseline.load(baseline_path))
+    print(render_json(findings) if args.format == "json" else render_text(findings))
+
+    if args.tcb_report:
+        report = TcbReport.from_sources(sources)
+        path = default_tcb_artifact_path()
+        report.write(path)
+        if args.format != "json":
+            print(report.render())
+        print(f"lint: TCB accounting written to {path}")
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -203,6 +249,30 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--attempts", type=int, default=30)
 
     sub.add_parser("resources", help="FPGA resource analysis")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: determinism, trusted boundaries, sim-safety",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyse (default: the repro package)",
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON of accepted findings "
+             "(default: the one shipped in repro/analysis/)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to accept every current finding",
+    )
+    lint.add_argument(
+        "--tcb-report", action="store_true",
+        help="also emit the measured-TCB LoC artifact under "
+             "benchmarks/results/",
+    )
     return parser
 
 
@@ -213,12 +283,18 @@ _HANDLERS = {
     "lemmas": _cmd_lemmas,
     "attack": _cmd_attack,
     "resources": _cmd_resources,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return _HANDLERS[args.command](args)
+
+
+def lint_entry() -> int:
+    """Console-script entry point: ``tnic-lint [paths] [options]``."""
+    return main(["lint", *sys.argv[1:]])
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,10 +19,10 @@ simulated adversary (who only has the public key and the API).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.crypto.hashing import sha256
+from repro.sim.rng import DeterministicRng
 
 _SMALL_PRIMES = [
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
@@ -32,7 +32,7 @@ _SMALL_PRIMES = [
 _PUBLIC_EXPONENT = 65537
 
 
-def _is_probable_prime(n: int, rng: random.Random, rounds: int = 32) -> bool:
+def _is_probable_prime(n: int, rng: DeterministicRng, rounds: int = 32) -> bool:
     if n < 2:
         return False
     for p in _SMALL_PRIMES:
@@ -57,7 +57,7 @@ def _is_probable_prime(n: int, rng: random.Random, rounds: int = 32) -> bool:
     return True
 
 
-def _random_prime(bits: int, rng: random.Random) -> int:
+def _random_prime(bits: int, rng: DeterministicRng) -> int:
     while True:
         candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
         if candidate % _PUBLIC_EXPONENT == 1:
@@ -111,11 +111,25 @@ def _encode_digest(digest: bytes, modulus: int) -> int:
     return int.from_bytes(encoded, "big")
 
 
+#: Stream used when no seed is given: keygen must *never* fall back to
+#: process-global randomness, or device identities differ across runs.
+_DEFAULT_KEYGEN_SEED = "repro/rsa/default-keygen"
+
+
 def generate_keypair(bits: int = 512, seed: int | str | None = None) -> RsaKeyPair:
-    """Generate an RSA key pair; a *seed* makes generation reproducible."""
+    """Generate an RSA key pair, always deterministically.
+
+    The *seed* selects the key material; distinct principals must pass
+    distinct seeds (e.g. ``seed=f"vendor/{name}"``).  Omitting it draws
+    from a fixed named stream, so even "anonymous" keygen is replayable
+    — the simulation's determinism contract (DESIGN.md §2) forbids
+    reaching for the process-global ``random`` module here.
+    """
     if bits < 256:
         raise ValueError("modulus must be at least 256 bits")
-    rng = random.Random(seed) if seed is not None else random.Random()
+    rng = DeterministicRng(
+        seed if seed is not None else _DEFAULT_KEYGEN_SEED, stream="rsa-keygen"
+    )
     half = bits // 2
     while True:
         p = _random_prime(half, rng)

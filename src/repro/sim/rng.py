@@ -44,6 +44,12 @@ class DeterministicRng:
     def randint(self, low: int, high: int) -> int:
         return self._random.randint(low, high)
 
+    def randrange(self, low: int, high: int) -> int:
+        return self._random.randrange(low, high)
+
+    def getrandbits(self, bits: int) -> int:
+        return self._random.getrandbits(bits)
+
     def random(self) -> float:
         return self._random.random()
 

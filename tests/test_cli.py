@@ -46,6 +46,56 @@ def test_systems_command(capsys):
     assert "BFT counter" in out and "tnic" in out
 
 
+def test_lint_command_clean_tree(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_lint_command_json_format(capsys):
+    import json
+
+    assert main(["lint", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 0
+
+
+def test_lint_command_flags_violations_with_location(tmp_path, capsys):
+    fixture = tmp_path / "repro" / "core"
+    fixture.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (fixture / "__init__.py").write_text("")
+    (fixture / "bad.py").write_text(
+        "import random\n"
+        "import time\n"
+        "from repro.systems.bft import BftCounter\n\n"
+        "def proc(sim):\n"
+        "    time.sleep(random.random() + time.time())\n"
+        "    yield sim.timeout(1.0)\n"
+    )
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    for rule in ("DET001", "DET003", "BND001", "SIM001"):
+        assert rule in out
+    assert "bad.py:6" in out
+
+
+def test_lint_command_update_baseline_then_clean(tmp_path, capsys):
+    module = tmp_path / "legacy.py"
+    module.write_text("import time\nNOW = time.time()\n")
+    baseline = tmp_path / "accepted.json"
+    assert main(["lint", str(module), "--update-baseline",
+                 "--baseline", str(baseline)]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    assert main(["lint", str(module), "--baseline", str(baseline)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_command_rejects_missing_path(capsys):
+    assert main(["lint", "/nonexistent/path.py"]) == 2
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bogus"])
