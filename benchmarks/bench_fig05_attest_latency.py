@@ -68,4 +68,12 @@ def test_fig05_attest_latency(benchmark):
             f"{values[128]:.1f}",
             f"{values[64] / tnic:.2f}x",
         )
-    register_artefact("Figure 5", table.render())
+    register_artefact(
+        "Figure 5",
+        table.render(),
+        data={
+            label: {str(size): round(latency, 6)
+                    for size, latency in values.items()}
+            for label, values in results.items()
+        },
+    )

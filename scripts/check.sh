@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-stop pre-merge gate: tier-1 tests, static analysis, bench smoke.
+#
+# Usage: scripts/check.sh
+# Run from anywhere; it cd's to the repo root.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+python -m pytest -q
+
+echo
+echo "== static analysis (python -m repro lint) =="
+python -m repro lint
+
+echo
+echo "== telemetry determinism (two seeded runs must match) =="
+python -m repro metrics --json > /tmp/tnic-metrics-a.json
+python -m repro metrics --json > /tmp/tnic-metrics-b.json
+cmp /tmp/tnic-metrics-a.json /tmp/tnic-metrics-b.json
+rm -f /tmp/tnic-metrics-a.json /tmp/tnic-metrics-b.json
+echo "ok: metrics documents byte-identical"
+
+echo
+echo "== benchmark smoke (Fig. 6 breakdown + sim kernel) =="
+python -m pytest -q benchmarks/bench_fig06_attest_breakdown.py \
+    benchmarks/bench_sim_kernel.py
+
+echo
+echo "all checks passed"

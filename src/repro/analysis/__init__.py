@@ -10,6 +10,7 @@ turns both into mechanically enforced, CI-gated properties:
 * :mod:`repro.analysis.determinism` — DET001–DET005 determinism lint;
 * :mod:`repro.analysis.boundaries`  — BND001 trusted-boundary DAG checker;
 * :mod:`repro.analysis.sim_safety`  — SIM001–SIM003 virtual-time safety;
+* :mod:`repro.analysis.observability` — OBS001 clock-free telemetry;
 * :mod:`repro.analysis.report`      — text/JSON rendering, TCB accounting.
 
 Entry points: ``python -m repro lint`` (CLI), :func:`analyze_paths`

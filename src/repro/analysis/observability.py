@@ -1,0 +1,98 @@
+"""Observability lint: the telemetry layer must be clock-free.
+
+The whole value of :mod:`repro.telemetry` is that two runs of one
+seeded scenario serialise byte-identically — which dies the moment a
+wall-clock timestamp leaks into a metric, span, or flight-recorder
+snapshot.  DET001/DET002 already flag wall-clock *calls* everywhere in
+the simulation; OBS001 is stricter for the observability layer itself:
+it forbids even *importing* the ``time`` / ``datetime`` modules there,
+so the temptation never compiles.  Timestamps must come from the
+simulator's virtual clock (``sim.now``), period.
+
+Scope: ``repro.telemetry`` and the tracepoint layer it plugs into
+(:mod:`repro.sim.instrument`, :mod:`repro.sim.trace`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules import Finding, Rule
+from repro.analysis.walker import SourceFile, dotted_name
+
+#: Modules held to the stricter no-clock-imports standard.
+OBSERVABILITY_MODULES = (
+    "repro.telemetry",
+    "repro.sim.instrument",
+    "repro.sim.trace",
+)
+
+_FORBIDDEN_MODULES = ("time", "datetime")
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+def _in_scope(src: SourceFile) -> bool:
+    return any(
+        src.module == mod or src.module.startswith(mod + ".")
+        for mod in OBSERVABILITY_MODULES
+    )
+
+
+class TelemetryWallClockRule(Rule):
+    rule_id = "OBS001"
+    description = (
+        "wall-clock dependency in the observability layer: telemetry "
+        "must be a pure function of the virtual clock; importing "
+        "time/datetime there is forbidden outright"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if not _in_scope(src):
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in _FORBIDDEN_MODULES:
+                        yield self.finding(
+                            src, node.lineno, node.col_offset,
+                            f"`import {alias.name}` in the observability "
+                            "layer; timestamps must come from sim.now",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".", 1)[0]
+                if node.level == 0 and root in _FORBIDDEN_MODULES:
+                    yield self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"`from {node.module} import ...` in the "
+                        "observability layer; timestamps must come from "
+                        "sim.now",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"`{name}()` reads the wall clock inside the "
+                        "observability layer",
+                    )
+
+
+OBSERVABILITY_RULES = (TelemetryWallClockRule,)

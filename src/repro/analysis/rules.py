@@ -89,10 +89,12 @@ def default_rules() -> list[Rule]:
     """Every shipped pass, instantiated fresh."""
     from repro.analysis.boundaries import TrustedBoundaryRule
     from repro.analysis.determinism import DETERMINISM_RULES
+    from repro.analysis.observability import OBSERVABILITY_RULES
     from repro.analysis.sim_safety import SIM_SAFETY_RULES
 
     rules: list[Rule] = [cls() for cls in DETERMINISM_RULES]
     rules.extend(cls() for cls in SIM_SAFETY_RULES)
+    rules.extend(cls() for cls in OBSERVABILITY_RULES)
     rules.append(TrustedBoundaryRule())
     return rules
 

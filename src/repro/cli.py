@@ -11,6 +11,10 @@ capabilities without writing code:
 * ``resources``  — the Table-5 / Figure-13 FPGA resource analysis.
 * ``lint``       — the static-analysis passes (determinism, trusted
   boundaries, sim-safety) plus the measured-TCB accounting report.
+* ``metrics``    — run a seeded cluster workload with telemetry on and
+  print the metrics document (text, ``--json`` or ``--prom``).
+* ``trace``      — the same workload's trace buffer, filterable with
+  ``--category``.
 """
 
 from __future__ import annotations
@@ -226,6 +230,74 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _instrumented_workload(ops: int, seed: int, tamper: bool):
+    """Run a deterministic two-node send/recv workload with telemetry.
+
+    Returns the cluster with its attached :class:`Telemetry` hub.  With
+    *tamper* the fabric flips one byte of the first attested payload,
+    exercising the rejection path and the flight recorder; go-back-N
+    then redelivers the genuine message, so the workload still
+    completes.
+    """
+    from repro.api import Cluster, auth_send
+    from repro.api.ops import recv
+    from repro.net.fabric import NetworkFault
+    from repro.telemetry import Telemetry
+
+    fault = None
+    if tamper:
+        remaining = {"count": 1}
+
+        def _flip(packet):
+            if packet.trailer is None or not packet.payload:
+                return None
+            if remaining["count"] <= 0:
+                return None
+            remaining["count"] -= 1
+            flipped = bytes([packet.payload[0] ^ 0xFF]) + packet.payload[1:]
+            return packet.with_payload(flipped)
+
+        fault = NetworkFault(tamper=_flip)
+
+    cluster = Cluster(["alice", "bob"], seed=seed, fault=fault)
+    hub = Telemetry.attach(cluster.sim)
+    conn_a, conn_b = cluster.connect("alice", "bob")
+    sizes = (64, 256, 1024, 4096)
+    for i in range(ops):
+        payload = bytes([i % 251]) * sizes[i % len(sizes)]
+        cluster.run(auth_send(conn_a, payload))
+        cluster.run()
+        recv(conn_b)
+    return cluster, hub
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    _, hub = _instrumented_workload(args.ops, args.seed, args.tamper)
+    if args.json:
+        print(hub.render_json())
+    elif args.prom:
+        print(hub.render_prometheus())
+    else:
+        print(hub.render_text())
+        if args.spans:
+            print()
+            print(hub.spans.tree())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    cluster, _ = _instrumented_workload(args.ops, args.seed, args.tamper)
+    tracer = cluster.sim.tracer
+    rendered = tracer.render(args.category)
+    if rendered:
+        print(rendered)
+    print(
+        f"trace: emitted={tracer.emitted} buffered={len(tracer)} "
+        f"dropped={tracer.dropped} evicted={tracer.evicted}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -273,6 +345,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="also emit the measured-TCB LoC artifact under "
              "benchmarks/results/",
     )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="seeded workload with telemetry; print the metrics document",
+    )
+    trace = sub.add_parser(
+        "trace",
+        help="seeded workload with tracing; print the trace buffer",
+    )
+    for command in (metrics, trace):
+        command.add_argument("--ops", type=int, default=25,
+                             help="number of attested sends (default 25)")
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--tamper", action="store_true",
+            help="flip one byte on the wire to exercise the rejection "
+                 "path and the flight recorder",
+        )
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the full JSON metrics document")
+    metrics.add_argument("--prom", action="store_true",
+                         help="emit Prometheus text exposition format")
+    metrics.add_argument("--spans", action="store_true",
+                         help="also print the span forest (text mode)")
+    trace.add_argument(
+        "--category", default=None,
+        help="only show records whose category starts with this prefix "
+             "(e.g. roce.)",
+    )
     return parser
 
 
@@ -284,6 +385,8 @@ _HANDLERS = {
     "attack": _cmd_attack,
     "resources": _cmd_resources,
     "lint": _cmd_lint,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
 }
 
 

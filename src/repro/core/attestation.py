@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 from repro.core.counters import CounterStore
 from repro.core.keystore import Keystore, KeystoreError
 from repro.crypto.hmac_engine import HmacEngine, hmac_sha256, hmac_verify
+from repro.sim.instrument import count, flight_trigger, gauge_set
 from repro.sim.trace import emit
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -121,6 +122,9 @@ class AttestationKernel:
             emit(self.sim, "attest.generate",
                  f"session={session_id} cnt={counter} {len(payload)}B",
                  device=self.device_id)
+            count(self.sim, "attest.generate", device=self.device_id)
+            gauge_set(self.sim, "attest.send_cnt", counter + 1,
+                      device=self.device_id, session=session_id)
         return AttestedMessage(
             payload=payload,
             alpha=alpha,
@@ -151,6 +155,11 @@ class AttestationKernel:
                 emit(self.sim, "attest.reject",
                      f"bad MAC session={session_id} cnt={message.counter}",
                      device=self.device_id)
+                count(self.sim, "attest.reject",
+                      device=self.device_id, reason="mac")
+                flight_trigger(self.sim, "attest.reject",
+                               device=self.device_id, session=session_id,
+                               counter=message.counter, reason="mac")
             raise MacMismatchError(
                 f"attestation mismatch for session {session_id} "
                 f"counter {message.counter}"
@@ -162,9 +171,19 @@ class AttestationKernel:
                 emit(self.sim, "attest.reject",
                      f"continuity session={session_id} expected={expected} "
                      f"got={message.counter}", device=self.device_id)
+                count(self.sim, "attest.reject",
+                      device=self.device_id, reason="continuity")
+                flight_trigger(self.sim, "attest.reject",
+                               device=self.device_id, session=session_id,
+                               counter=message.counter, expected=expected,
+                               reason="continuity")
             raise ContinuityError(expected, message.counter)
         self.counters.advance_recv(session_id)
         self.verify_count += 1
+        if self.sim is not None:
+            count(self.sim, "attest.verify_ok", device=self.device_id)
+            gauge_set(self.sim, "attest.recv_cnt", expected + 1,
+                      device=self.device_id, session=session_id)
         return message.payload
 
     def check_transferable(self, session_id: int, message: AttestedMessage) -> bool:

@@ -74,3 +74,10 @@ class CounterStore:
         return {
             sid: (c.send_cnt, c.recv_cnt) for sid, c in sorted(self._sessions.items())
         }
+
+    def to_dict(self) -> dict[str, dict[str, int]]:
+        """JSON-ready view, consumed by flight-recorder state providers."""
+        return {
+            str(sid): {"send_cnt": c.send_cnt, "recv_cnt": c.recv_cnt}
+            for sid, c in sorted(self._sessions.items())
+        }

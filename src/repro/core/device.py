@@ -27,6 +27,7 @@ from repro.net.packet import RdmaOpcode
 from repro.roce.queue_pair import QueuePair
 from repro.roce.state_tables import CompletionEntry
 from repro.roce.transport import RoceKernel
+from repro.sim.instrument import count, span_begin
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.clock import Simulator
@@ -111,18 +112,28 @@ class TnicDevice:
 
     def _tx_path(self, qp_number, payload, opcode, meta, done):
         qp = self.roce._qp(qp_number)
+        span = span_begin(self.sim, "tnic.tx", device=self.device_id,
+                          qp=qp_number, bytes=len(payload))
         try:
+            stage = span.child("tnic.dma")
             yield self.dma.transfer(len(payload))
+            stage.end()
             if self.attestation is not None:
+                stage = span.child("attest.hmac")
                 message = yield self.attestation.attest_event(qp.session_id, payload)
+                stage.end()
                 to_send: AttestedMessage | bytes = message
             else:
                 to_send = payload
+            stage = span.child("roce.tx")
             completion = yield self.roce.post_send(qp_number, to_send, opcode, meta)
+            stage.end()
         except Exception as exc:  # propagate transport failures to caller
+            span.end(status="error")
             if not done.triggered:
                 done.fail(exc)
             return
+        span.end(status="ok")
         if not done.triggered:
             done.succeed(completion)
 
@@ -135,8 +146,15 @@ class TnicDevice:
         return done
 
     def _local_attest(self, session_id, payload, done):
+        span = span_begin(self.sim, "tnic.local_attest",
+                          device=self.device_id, bytes=len(payload))
+        stage = span.child("tnic.dma")
         yield self.dma.transfer(len(payload))
+        stage.end()
+        stage = span.child("attest.hmac")
         message = yield self.attestation.attest_event(session_id, payload)
+        stage.end()
+        span.end()
         done.succeed(message)
 
     def local_verify(self, session_id: int, message: AttestedMessage) -> "Event":
@@ -177,6 +195,7 @@ class TnicDevice:
         if not state.receive_queue:
             return None
         item = state.receive_queue.popleft()
+        count(self.sim, "device.host_rx", device=self.device_id)
         if (
             item["opcode"] is RdmaOpcode.WRITE
             and self._host_memory is not None

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.sim.instrument import count, observe
 from repro.sim.latency import (
     PCIE_BANDWIDTH_BYTES_PER_US,
     TNIC_ATTEST_ASYNC_US,
@@ -55,6 +56,9 @@ class DmaEngine:
         if size_bytes < 0:
             raise ValueError("size must be >= 0")
         self.transfers += 1
+        count(self.sim, "dma.transfers")
+        count(self.sim, "dma.bytes", size_bytes)
+        observe(self.sim, "dma.size_bytes", size_bytes)
         setup = self.setup_cost_us()
         done = self.sim.event()
 

@@ -14,8 +14,10 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.net.mac import EthernetMac
 from repro.net.packet import Packet
+from repro.sim.instrument import count
 from repro.sim.latency import WIRE_PROPAGATION_US
 from repro.sim.rng import DeterministicRng
+from repro.sim.trace import emit
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.clock import Simulator
@@ -98,12 +100,16 @@ class Link:
             modified = self.fault.tamper(packet)
             if modified is not None and modified is not packet:
                 self.stats.tampered += 1
+                emit(self.sim, "fabric.tamper", packet.describe())
+                count(self.sim, "fabric.tampered")
                 outcome = modified
 
         if self.fault.drop_probability and self.rng.chance(
             self.fault.drop_probability
         ):
             self.stats.dropped += 1
+            emit(self.sim, "fabric.drop", packet.describe())
+            count(self.sim, "fabric.dropped")
             return
 
         delay = self.propagation_us
@@ -111,6 +117,9 @@ class Link:
             self.fault.reorder_probability
         ):
             self.stats.reordered += 1
+            emit(self.sim, "fabric.reorder", packet.describe(),
+                 extra_delay_us=self.fault.reorder_extra_delay_us)
+            count(self.sim, "fabric.reordered")
             delay += self.fault.reorder_extra_delay_us
 
         self._deliver_after(delay, receiver, outcome)
@@ -119,6 +128,8 @@ class Link:
             self.fault.duplicate_probability
         ):
             self.stats.duplicated += 1
+            emit(self.sim, "fabric.duplicate", packet.describe())
+            count(self.sim, "fabric.duplicated")
             self._deliver_after(delay + 1.0, receiver, outcome)
 
         if self.fault.replay_probability:
@@ -128,6 +139,8 @@ class Link:
             if self.rng.chance(self.fault.replay_probability):
                 victim_receiver, stale = self.rng.choice(self._replay_buffer)
                 self.stats.replayed += 1
+                emit(self.sim, "fabric.replay", stale.describe())
+                count(self.sim, "fabric.replayed")
                 self._deliver_after(delay + 5.0, victim_receiver, stale)
 
     def _deliver_after(
@@ -172,22 +185,32 @@ class Fabric:
         receiver = self._macs.get(packet.eth.dst_mac)
         if receiver is None:
             self.stats.dropped += 1
+            emit(self.sim, "fabric.drop",
+                 f"no port for {packet.eth.dst_mac}")
+            count(self.sim, "fabric.dropped")
             return
         if self.fault.tamper is not None:
             modified = self.fault.tamper(packet)
             if modified is not None and modified is not packet:
                 self.stats.tampered += 1
+                emit(self.sim, "fabric.tamper", packet.describe())
+                count(self.sim, "fabric.tampered")
                 packet = modified
         if self.fault.drop_probability and self.rng.chance(
             self.fault.drop_probability
         ):
             self.stats.dropped += 1
+            emit(self.sim, "fabric.drop", packet.describe())
+            count(self.sim, "fabric.dropped")
             return
         delay = self.propagation_us
         if self.fault.reorder_probability and self.rng.chance(
             self.fault.reorder_probability
         ):
             self.stats.reordered += 1
+            emit(self.sim, "fabric.reorder", packet.describe(),
+                 extra_delay_us=self.fault.reorder_extra_delay_us)
+            count(self.sim, "fabric.reordered")
             delay += self.fault.reorder_extra_delay_us
         self.stats.delivered += 1
         self.sim.delayed_call(delay, lambda: receiver.deliver(packet))

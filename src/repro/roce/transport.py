@@ -35,6 +35,7 @@ from repro.net.packet import (
 )
 from repro.roce.queue_pair import QueuePair
 from repro.roce.state_tables import CompletionEntry, StateTables
+from repro.sim.instrument import count, flight_trigger, gauge_set, span_begin
 from repro.sim.resources import Store
 from repro.sim.trace import emit
 
@@ -187,9 +188,12 @@ class RoceKernel:
                 packet = self._with_psn(packet, psn, qp.remote_qp_number)
                 state.inflight[-1].packet = packet
                 emit(self.sim, "roce.tx", packet.describe(), node=self.ip)
+                count(self.sim, "roce.tx_packets", node=self.ip)
                 self.mac.transmit(packet)
                 last_psn = psn
             state.next_send_msn += 1
+            gauge_set(self.sim, "roce.inflight", len(state.inflight),
+                      node=self.ip, qp=qp_number)
             # The message completes when its final segment is acked.
             self._send_completions[(qp_number, last_psn)] = completion
             self._ensure_retransmit_timer(qp_number)
@@ -277,9 +281,12 @@ class RoceKernel:
             emit(self.sim, "roce.retransmit",
                  f"timeout qp={qp_number}", inflight=len(state.inflight),
                  node=self.ip)
+            count(self.sim, "roce.retransmit_timeouts",
+                  node=self.ip, qp=qp_number)
             for entry in list(state.inflight):
                 entry.retries += 1
                 state.retransmissions += 1
+                count(self.sim, "roce.retransmissions", node=self.ip)
                 self.mac.transmit(entry.packet)
         self._retransmit_running.discard(qp_number)
 
@@ -315,6 +322,8 @@ class RoceKernel:
             return
         acked_psn = packet.bth.psn
         state.ack_through(acked_psn)
+        gauge_set(self.sim, "roce.inflight", len(state.inflight),
+                  node=self.ip, qp=qp_number)
         if self._tx_backlog.get(qp_number):
             self._pump_tx(qp_number)  # ACKs opened window space
         for (qp_n, psn), completion in list(self._send_completions.items()):
@@ -406,15 +415,19 @@ class RoceKernel:
                 device_id=trailer.device_id,
                 counter=trailer.send_cnt,
             )
+            vspan = span_begin(self.sim, "roce.rx_verify",
+                               node=self.ip, qp=qp_number)
             try:
                 verified = yield self.attestation.verify_event(
                     qp.session_id, message
                 )
             except AttestationError:
                 # Forged/tampered/replayed: do not advance the window.
+                vspan.end(status="rejected")
                 self.verification_failures += 1
                 self._reject(qp, state, lane)
                 continue
+            vspan.end(status="ok")
             self._deliver(qp, state, packet, payload=verified,
                           message=message, psn_span=segments)
 
@@ -425,6 +438,9 @@ class RoceKernel:
         emit(self.sim, "roce.reject",
              f"qp={qp.qp_number} rewind to psn={state.expected_recv_psn}",
              node=self.ip)
+        count(self.sim, "roce.reject", node=self.ip)
+        flight_trigger(self.sim, "roce.reject", node=self.ip,
+                       qp=qp.qp_number, rewind_to=state.expected_recv_psn)
         lane.epoch += 1
         lane.partial = []
         lane.next_arrival_psn = state.expected_recv_psn
@@ -462,6 +478,7 @@ class RoceKernel:
         emit(self.sim, "roce.rx",
              f"delivered qp={qp.qp_number} msn={msn} {len(payload)}B",
              node=self.ip)
+        count(self.sim, "roce.rx_delivered", node=self.ip)
         self._send_ack(qp, packet.bth.psn, msn)
         if self.deliver_hook is not None:
             self.deliver_hook(qp, state)

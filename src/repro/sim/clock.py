@@ -34,6 +34,9 @@ class Simulator:
         self._tiebreak = count()
         #: Optional structured tracer (see :mod:`repro.sim.trace`).
         self.tracer = None
+        #: Optional telemetry hub (see :mod:`repro.telemetry`); the
+        #: hooks in :mod:`repro.sim.instrument` dispatch through it.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Clock

@@ -1,0 +1,103 @@
+"""Instrumentation hook points for the simulated datapath.
+
+The trusted packages (``repro.core``, ``repro.roce``, ``repro.net``)
+may only import ``repro.sim`` — the boundary manifest forbids them a
+dependency on the observability implementation, exactly like the
+paper's attestation kernel cannot depend on host software.  This module
+is therefore the *tracepoint layer*: dependency-free functions that
+duck-dispatch to an optional hub object attached to the simulator as
+``sim.telemetry`` (the hub lives in the untrusted
+:mod:`repro.telemetry` package and is installed with
+``Telemetry.attach(sim)``).
+
+Every hook costs a single attribute check when telemetry is off, the
+same contract :func:`repro.sim.trace.emit` honours for tracing.  All
+timestamps come from the simulator's virtual clock, never the wall
+clock, so instrumented runs stay deterministic (DET001/OBS001).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class NullSpan:
+    """Inert span handle returned while telemetry is detached.
+
+    Supports the full span surface (``child``/``end``/``annotate``) as
+    no-ops so instrumented code never branches on whether a hub exists.
+    Falsy, so ``if span:`` can gate optional extra work.
+    """
+
+    __slots__ = ()
+
+    def child(self, name: str, **labels: Any) -> "NullSpan":
+        return self
+
+    def end(self, **labels: Any) -> None:
+        return None
+
+    def annotate(self, **labels: Any) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()
+
+
+def hub(sim) -> Any | None:
+    """The telemetry hub attached to *sim*, if any."""
+    return getattr(sim, "telemetry", None)
+
+
+def count(sim, name: str, value: float = 1, **labels: Any) -> None:
+    """Add *value* to counter *name* (no-op without a hub)."""
+    telemetry = getattr(sim, "telemetry", None)
+    if telemetry is not None:
+        telemetry.count(name, value, **labels)
+
+
+def gauge_set(sim, name: str, value: float, **labels: Any) -> None:
+    """Set gauge *name* to *value* (no-op without a hub)."""
+    telemetry = getattr(sim, "telemetry", None)
+    if telemetry is not None:
+        telemetry.gauge_set(name, value, **labels)
+
+
+def observe(sim, name: str, value: float, **labels: Any) -> None:
+    """Record *value* into histogram *name* (no-op without a hub)."""
+    telemetry = getattr(sim, "telemetry", None)
+    if telemetry is not None:
+        telemetry.observe(name, value, **labels)
+
+
+def span_begin(sim, name: str, parent: Any = None, **labels: Any):
+    """Open a span at the current virtual time.
+
+    Returns a live :class:`repro.telemetry.spans.Span` when a hub is
+    attached, else :data:`NULL_SPAN`.  Callers end it with
+    ``span.end()``; nesting uses ``span.child(...)``.
+    """
+    telemetry = getattr(sim, "telemetry", None)
+    if telemetry is None:
+        return NULL_SPAN
+    if isinstance(parent, NullSpan):
+        parent = None
+    return telemetry.span_begin(name, parent=parent, **labels)
+
+
+def flight_trigger(sim, event: str, **context: Any) -> None:
+    """Snapshot the flight recorder (no-op without a hub).
+
+    Instrumented code calls this at *anomaly* points — an attestation
+    rejection, a transport window rewind, a tripped invariant — so the
+    last-N trace records and the metric state at the moment of failure
+    are preserved for post-mortem analysis.  *event* names the anomaly;
+    the keyword context rides along verbatim (``reason=...`` is a
+    conventional label within it).
+    """
+    telemetry = getattr(sim, "telemetry", None)
+    if telemetry is not None:
+        telemetry.flight_trigger(event, **context)

@@ -8,7 +8,10 @@ check per event when disabled.
 
 Categories use dotted names (``roce.tx``, ``attest.reject`` ...); a
 tracer can be restricted to a prefix set.  The buffer is bounded so
-long simulations cannot exhaust memory.
+long simulations cannot exhaust memory.  Two loss counters keep the
+accounting honest: ``dropped`` counts records refused by the category
+filter, ``evicted`` counts records that *were* buffered but have since
+been pushed out of the bounded ring by newer ones.
 """
 
 from __future__ import annotations
@@ -46,7 +49,10 @@ class Tracer:
         self.capacity = capacity
         self.categories = categories
         self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        #: Records refused by the category filter (never buffered).
         self.dropped = 0
+        #: Records buffered then pushed out of the full ring by newer ones.
+        self.evicted = 0
         self.emitted = 0
 
     def wants(self, category: str) -> bool:
@@ -61,6 +67,8 @@ class Tracer:
             self.dropped += 1
             return
         self.emitted += 1
+        if len(self._records) == self.capacity:
+            self.evicted += 1
         self._records.append(TraceRecord(time_us, category, message, fields))
 
     # ------------------------------------------------------------------

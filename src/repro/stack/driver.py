@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.device import TnicDevice
+from repro.sim.instrument import count
+from repro.sim.trace import emit
 from repro.stack.regs import MappedRegsPage, RegField
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -67,6 +69,10 @@ class TnicDriver:
         regs.write_u64(RegField.CONFIG_QSFP_PORT, config.qsfp_port)
         regs.write_u64(RegField.STATUS_READY, 1)
         self._mappings[index] = regs
+        emit(self.sim, "driver.init",
+             f"/dev/fpga{index} ip={config.ip} qsfp={config.qsfp_port}",
+             device=device.device_id)
+        count(self.sim, "driver.devices_initialised")
         return regs
 
     def mapping_for(self, device_index: int) -> MappedRegsPage:

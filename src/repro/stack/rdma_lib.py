@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.device import TnicDevice
 from repro.net.packet import RdmaOpcode
+from repro.sim.instrument import count, span_begin
 from repro.stack.memory import IbvMemory, MemoryError_, RdmaKey
 from repro.stack.process import TnicProcess
 from repro.stack.regs import RegField
@@ -118,6 +119,10 @@ class RdmaLibrary:
         return done
 
     def _post_locked(self, request: WorkRequest, done: "Event"):
+        # The "post" stage of the send breakdown: lock wait + REGs
+        # programming + doorbell, ending when the device owns the WR.
+        span = span_begin(self.sim, "tnic.post",
+                          qp=request.qp_number, bytes=request.length)
         yield self.process.exclusive_regs()
         try:
             payload = self.region_for_address(
@@ -143,9 +148,12 @@ class RdmaLibrary:
             )
         except Exception as exc:
             self.process.release_regs()
+            span.end(status="error")
             done.fail(exc)
             return
         self.process.release_regs()
+        span.end(status="ok")
+        count(self.sim, "rdma.posted", qp=request.qp_number)
         self.tx_posted[request.qp_number] = self.tx_posted.get(request.qp_number, 0) + 1
         try:
             completion = yield completion_event

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.attestation import AttestedMessage
 from repro.crypto.hashing import sha256
+from repro.sim.instrument import count
 from repro.sim.latency import A2M_APPEND_OVERHEAD_US, HOST_MEMORY_LOOKUP_US
 from repro.tee.base import AttestationProvider
 from repro.tee.sgx_memory import EnclaveMemoryModel
@@ -97,6 +98,7 @@ class A2M:
         """append(id, ctx): attest and append; event value is the entry."""
         done = self.sim.event()
         log = self._log(log_id)
+        count(self.sim, "a2m.appends", log=log_id)
         attest = self.provider.attest(self.session_id, context)
 
         def _finish(event) -> None:
@@ -123,6 +125,7 @@ class A2M:
     def lookup(self, log_id: str, index: int) -> "Event":
         """lookup(id, i): fetch the entry without verifying it."""
         log = self._log(log_id)
+        count(self.sim, "a2m.lookups", log=log_id)
         entry = log.entries.get(index)
         if entry is None:
             raise A2MError(

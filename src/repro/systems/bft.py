@@ -310,7 +310,7 @@ class BftCounter:
             for name in names
         }
         self.client_inbox = self.network.register(self.client_name)
-        self.metrics = SystemMetrics()
+        self.metrics = SystemMetrics(sim=self.sim, system="bft")
         self.sim.process(self.replicas[self.leader_name].run_leader())
         for follower in self.followers:
             self.sim.process(self.replicas[follower].run_follower())

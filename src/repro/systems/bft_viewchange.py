@@ -292,7 +292,7 @@ class ViewChangeBftCounter:
             for name in self.replica_names
         }
         self.client_inbox = self.network.register(self.client_name)
-        self.metrics = SystemMetrics()
+        self.metrics = SystemMetrics(sim=self.sim, system="bft_viewchange")
         self.aborted = False
         for replica in self.replicas.values():
             self.sim.process(replica.run())

@@ -298,7 +298,7 @@ class ChainReplication:
                 behaviours.get(name),
             )
         self.client_inbox = self.network.register(self.client_name)
-        self.metrics = SystemMetrics()
+        self.metrics = SystemMetrics(sim=self.sim, system="chain")
         self.aborted = False
         self.sim.process(self.nodes["head"].run_head())
         for name in names[1:]:

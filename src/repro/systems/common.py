@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.attestation import AttestedMessage
+from repro.sim.instrument import count, gauge_set, observe
 from repro.sim.latency import SYSTEM_NET_HOP_US
 from repro.sim.resources import Store
 from repro.tee.base import AttestationProvider
@@ -97,11 +98,14 @@ class EmulatedNetwork:
         if dst not in self._inboxes:
             raise KeyError(f"unknown destination {dst!r}")
         self.messages_sent += 1
+        count(self.sim, "system.net_sent")
         if dst in self._isolated:
             if self._drop_mode:
                 self.dropped_messages += 1
+                count(self.sim, "system.net_dropped")
             else:
                 self._held.append((dst, message))
+                gauge_set(self.sim, "system.net_held", len(self._held))
             return
         inbox = self._inboxes[dst]
         self.sim.delayed_call(self.hop_latency_us, lambda: inbox.put(message))
@@ -165,16 +169,28 @@ class BroadcastAuthenticator:
 
 @dataclass
 class SystemMetrics:
-    """Throughput/latency accounting over virtual time."""
+    """Throughput/latency accounting over virtual time.
+
+    When constructed with a simulator and a system label, every
+    recorded commit also lands in the telemetry hub (histogram
+    ``system.commit_us`` and counter ``system.committed``, labelled by
+    system) — a no-op unless ``Telemetry.attach(sim)`` was called.
+    """
 
     committed: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
     latencies_us: list[float] = field(default_factory=list)
+    sim: Any = None
+    system: str = ""
 
     def record(self, latency_us: float) -> None:
         self.committed += 1
         self.latencies_us.append(latency_us)
+        if self.sim is not None:
+            observe(self.sim, "system.commit_us", latency_us,
+                    system=self.system)
+            count(self.sim, "system.committed", system=self.system)
 
     @property
     def elapsed_us(self) -> float:

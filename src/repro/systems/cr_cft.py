@@ -83,7 +83,7 @@ class TeeChainReplication:
             successor = names[i + 1] if i + 1 < len(names) else None
             self.nodes[name] = _CftChainNode(name, self, successor)
         self.client_inbox = self.network.register(self.client_name)
-        self.metrics = SystemMetrics()
+        self.metrics = SystemMetrics(sim=self.sim, system="cr_cft")
         for node in self.nodes.values():
             self.sim.process(node.run())
 

@@ -344,7 +344,7 @@ class PeerReviewSystem:
             for i, name in enumerate(names)
         }
         self.session_ids = install_shared_sessions(self.providers)
-        self.metrics = SystemMetrics()
+        self.metrics = SystemMetrics(sim=self.sim, system="peer_review")
         self.witness = Witness(self, role="source")
         self.child_witnesses = {
             name: Witness(self, role="child") for name in self.children

@@ -232,7 +232,7 @@ class TeeRaft:
         self.pipeline_depth = pipeline_depth
         self.nodes = {name: _RaftNode(name, self) for name in names}
         self.client_inbox = self.network.register(self.client_name)
-        self.metrics = SystemMetrics()
+        self.metrics = SystemMetrics(sim=self.sim, system="raft")
         self.sim.process(self.nodes[self.leader_name].run_leader())
         for name in self.followers:
             self.sim.process(self.nodes[name].run_follower())

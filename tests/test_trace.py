@@ -22,6 +22,25 @@ def test_tracer_capacity_bounded():
     assert tracer.emitted == 10
 
 
+def test_tracer_eviction_accounted_separately_from_drops():
+    tracer = Tracer(capacity=3)
+    for i in range(10):
+        tracer.record(float(i), "cat", f"m{i}")
+    # 7 records were buffered then pushed out; none were filter-refused.
+    assert tracer.evicted == 7
+    assert tracer.dropped == 0
+
+
+def test_tracer_filter_drops_do_not_count_as_evictions():
+    tracer = Tracer(capacity=2, categories=("roce.",))
+    for i in range(5):
+        tracer.record(float(i), "attest.generate", f"m{i}")
+    tracer.record(5.0, "roce.tx", "kept")
+    assert tracer.dropped == 5
+    assert tracer.evicted == 0
+    assert len(tracer) == 1
+
+
 def test_tracer_category_filter():
     tracer = Tracer(categories=("roce.",))
     tracer.record(0.0, "roce.tx", "yes")
