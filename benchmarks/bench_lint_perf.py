@@ -1,0 +1,66 @@
+"""Benchmark — static-analysis wall-clock over the full tree.
+
+The lint gate runs on every check.sh invocation and in CI, so its
+latency is part of the developer loop; the acceptance budget is a full
+``python -m repro lint`` pass over ``src/`` in under 10 seconds.  The
+interprocedural taint engine dominates (project fixpoint + a final
+recording pass over every function), so its share is reported
+separately alongside the fixpoint pass count.
+"""
+
+import time
+
+from conftest import register_artefact
+
+from repro.analysis import (
+    TNIC_MANIFEST,
+    TaintEngine,
+    analyze_paths,
+    collect_sources,
+    default_package_root,
+)
+from repro.bench import Table
+
+LINT_BUDGET_S = 10.0
+
+
+def test_lint_latency_within_budget(benchmark):
+    sources = collect_sources([default_package_root()])
+
+    start = time.perf_counter()
+    engine = TaintEngine(sources, TNIC_MANIFEST)
+    flows = engine.run()
+    taint_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    findings = analyze_paths()
+    full_s = time.perf_counter() - start
+
+    benchmark.pedantic(analyze_paths, rounds=3, iterations=1)
+
+    assert findings == [], [f.render() for f in findings]
+    assert full_s < LINT_BUDGET_S, f"lint took {full_s:.1f}s"
+
+    table = Table(
+        "Static-analysis latency (full tree)",
+        ["stage", "value"],
+    )
+    table.add_row("modules analysed", str(len(sources)))
+    table.add_row("functions indexed", str(len(engine.functions)))
+    table.add_row("fixpoint passes", str(engine.passes_run))
+    table.add_row("raw taint flows", str(len(flows)))
+    table.add_row("taint engine (s)", f"{taint_s:.2f}")
+    table.add_row("full lint (s)", f"{full_s:.2f}")
+    table.add_row("budget (s)", f"{LINT_BUDGET_S:.1f}")
+    register_artefact(
+        "Lint latency",
+        table.render(),
+        data={
+            "modules": len(sources),
+            "functions": len(engine.functions),
+            "fixpoint_passes": engine.passes_run,
+            "taint_engine_s": round(taint_s, 3),
+            "full_lint_s": round(full_s, 3),
+            "budget_s": LINT_BUDGET_S,
+        },
+    )

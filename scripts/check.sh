@@ -14,7 +14,12 @@ python -m pytest -q
 
 echo
 echo "== static analysis (python -m repro lint) =="
-python -m repro lint
+mkdir -p benchmarks/results
+python -m repro lint --sarif benchmarks/results/lint.sarif
+
+echo
+echo "== stale baseline waivers =="
+python -m repro lint --prune-baseline --dry-run
 
 echo
 echo "== telemetry determinism (two seeded runs must match) =="

@@ -11,7 +11,12 @@ turns both into mechanically enforced, CI-gated properties:
 * :mod:`repro.analysis.boundaries`  — BND001 trusted-boundary DAG checker;
 * :mod:`repro.analysis.sim_safety`  — SIM001–SIM003 virtual-time safety;
 * :mod:`repro.analysis.observability` — OBS001 clock-free telemetry;
-* :mod:`repro.analysis.report`      — text/JSON rendering, TCB accounting.
+* :mod:`repro.analysis.dataflow`    — interprocedural taint engine
+  (call graph, per-function summaries, fixpoint propagation);
+* :mod:`repro.analysis.taint`       — SEC001–SEC003 key secrecy and
+  TNT001–TNT002 verified-ingress rules over the dataflow engine;
+* :mod:`repro.analysis.report`      — text/JSON/SARIF rendering, TCB
+  accounting.
 
 Entry points: ``python -m repro lint`` (CLI), :func:`analyze_paths`
 (programmatic), and the tier-1 tests ``tests/test_analysis.py`` and
@@ -30,10 +35,19 @@ from repro.analysis.boundaries import (
     check_boundaries,
     is_trusted,
 )
+from repro.analysis.dataflow import (
+    SinkSpec,
+    SourceSpec,
+    TaintEngine,
+    TaintFlow,
+    TaintManifest,
+    analyze_dataflow,
+)
 from repro.analysis.report import (
     TcbReport,
     default_tcb_artifact_path,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.analysis.rules import (
@@ -41,11 +55,14 @@ from repro.analysis.rules import (
     Finding,
     ProjectRule,
     Rule,
+    collect_findings,
     default_baseline_path,
     default_rules,
+    rule_by_id,
     rule_catalog,
     run_rules,
 )
+from repro.analysis.taint import TNIC_MANIFEST, project_flows
 from repro.analysis.walker import (
     SourceFile,
     collect_sources,
@@ -60,12 +77,20 @@ __all__ = [
     "Finding",
     "ProjectRule",
     "Rule",
+    "SinkSpec",
     "SourceFile",
+    "SourceSpec",
+    "TNIC_MANIFEST",
     "TRUSTED_PACKAGES",
+    "TaintEngine",
+    "TaintFlow",
+    "TaintManifest",
     "TcbReport",
     "TrustedBoundaryRule",
+    "analyze_dataflow",
     "analyze_paths",
     "check_boundaries",
+    "collect_findings",
     "collect_sources",
     "default_baseline_path",
     "default_package_root",
@@ -74,8 +99,11 @@ __all__ = [
     "import_graph",
     "is_trusted",
     "parse_file",
+    "project_flows",
     "render_json",
+    "render_sarif",
     "render_text",
+    "rule_by_id",
     "rule_catalog",
     "run_rules",
 ]

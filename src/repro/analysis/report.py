@@ -49,6 +49,66 @@ def render_json(findings: Sequence[Finding]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 document for CI / editor consumption.
+
+    Only rules that actually fired are listed in the driver metadata
+    (SARIF permits this, and it keeps the artifact small); fingerprints
+    travel as ``partialFingerprints`` so SARIF viewers track findings
+    across commits the same way the baseline does.
+    """
+    from repro.analysis.rules import rule_catalog
+
+    catalog = rule_catalog()
+    fired = sorted({finding.rule for finding in findings})
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "tnic-lint",
+                        "informationUri": "docs/analysis.md",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": catalog.get(rule_id, rule_id)
+                                },
+                            }
+                            for rule_id in fired
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "partialFingerprints": {
+                            "tnicLint/v1": finding.fingerprint()
+                        },
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": finding.path},
+                                    "region": {
+                                        "startLine": finding.line,
+                                        "startColumn": finding.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
 # ----------------------------------------------------------------------
 # LoC accounting
 # ----------------------------------------------------------------------

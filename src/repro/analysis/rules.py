@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 import re
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -31,7 +31,14 @@ _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9, -]+)\]")
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a specific source location."""
+    """One rule violation at a specific source location.
+
+    *occurrence* distinguishes repeated identical hits: when the same
+    rule flags the same normalised line twice in one module, the second
+    hit is occurrence 1, the third 2, and so on (assigned by
+    :func:`collect_findings`).  Without it the two hits shared one
+    fingerprint and a single baseline entry silently waived both.
+    """
 
     rule: str
     module: str
@@ -40,9 +47,14 @@ class Finding:
     col: int
     message: str
     snippet: str = ""
+    occurrence: int = 0
 
     def fingerprint(self) -> str:
         basis = f"{self.rule}|{self.module}|{' '.join(self.snippet.split())}"
+        if self.occurrence:
+            # Occurrence 0 keeps the historical basis so existing
+            # baseline entries stay valid across the migration.
+            basis += f"|{self.occurrence}"
         return hashlib.sha256(basis.encode()).hexdigest()[:16]
 
     def render(self) -> str:
@@ -59,6 +71,9 @@ class Rule:
 
     rule_id: str = "XXX000"
     description: str = ""
+    #: Longer rationale shown by ``python -m repro lint --explain RULE``
+    #: (falls back to *description* when empty).
+    explanation: str = ""
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
         raise NotImplementedError
@@ -91,17 +106,27 @@ def default_rules() -> list[Rule]:
     from repro.analysis.determinism import DETERMINISM_RULES
     from repro.analysis.observability import OBSERVABILITY_RULES
     from repro.analysis.sim_safety import SIM_SAFETY_RULES
+    from repro.analysis.taint import TAINT_RULES
 
     rules: list[Rule] = [cls() for cls in DETERMINISM_RULES]
     rules.extend(cls() for cls in SIM_SAFETY_RULES)
     rules.extend(cls() for cls in OBSERVABILITY_RULES)
     rules.append(TrustedBoundaryRule())
+    rules.extend(cls() for cls in TAINT_RULES)
     return rules
 
 
 def rule_catalog() -> dict[str, str]:
     """``{rule_id: description}`` for every shipped rule."""
     return {rule.rule_id: rule.description for rule in default_rules()}
+
+
+def rule_by_id(rule_id: str) -> Rule | None:
+    """The shipped rule with *rule_id*, or None (for ``--explain``)."""
+    for rule in default_rules():
+        if rule.rule_id == rule_id:
+            return rule
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -129,6 +154,11 @@ class Baseline:
 
     fingerprints: set[str]
     path: Path | None = None
+    entries: list[dict] = None  # raw file entries, for stale reporting
+
+    def __post_init__(self) -> None:
+        if self.entries is None:
+            self.entries = []
 
     @classmethod
     def load(cls, path: Path | None) -> "Baseline":
@@ -136,10 +166,43 @@ class Baseline:
             return cls(set(), Path(path) if path else None)
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         entries = payload.get("findings", [])
-        return cls({entry["fingerprint"] for entry in entries}, Path(path))
+        return cls(
+            {entry["fingerprint"] for entry in entries}, Path(path), entries
+        )
 
     def contains(self, finding: Finding) -> bool:
         return finding.fingerprint() in self.fingerprints
+
+    def stale_entries(self, current: Iterable[Finding]) -> list[dict]:
+        """Baseline entries matching none of *current* (pre-suppression).
+
+        A stale entry means the offending line was fixed or rewritten:
+        the waiver no longer waives anything and should be removed
+        before it silently blesses a future, unrelated regression that
+        happens to hash the same.
+        """
+        live = {finding.fingerprint() for finding in current}
+        return [e for e in self.entries if e["fingerprint"] not in live]
+
+    def prune(self, current: Iterable[Finding]) -> list[dict]:
+        """Drop stale entries, rewrite the file, return what was removed."""
+        stale = self.stale_entries(current)
+        if not stale or self.path is None:
+            return stale
+        dead = {entry["fingerprint"] for entry in stale}
+        self.entries = [e for e in self.entries if e["fingerprint"] not in dead]
+        self.fingerprints -= dead
+        payload = {
+            "comment": (
+                "Accepted lint findings; regenerate with "
+                "`python -m repro lint --update-baseline`."
+            ),
+            "findings": self.entries,
+        }
+        self.path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        return stale
 
     @staticmethod
     def write(path: Path, findings: Sequence[Finding]) -> None:
@@ -154,6 +217,7 @@ class Baseline:
                         "rule": f.rule,
                         "module": f.module,
                         "snippet": f.snippet,
+                        **({"occurrence": f.occurrence} if f.occurrence else {}),
                         "fingerprint": f.fingerprint(),
                     }
                     for f in findings
@@ -173,14 +237,17 @@ def default_baseline_path() -> Path:
 # Driver
 # ----------------------------------------------------------------------
 
-def run_rules(
+def collect_findings(
     sources: Sequence[SourceFile],
     rules: Iterable[Rule] | None = None,
-    baseline: Baseline | None = None,
 ) -> list[Finding]:
-    """Run *rules* over *sources*, dropping suppressed findings."""
+    """Every raw finding (no suppression), with occurrence indices set.
+
+    Findings that share (rule, module, normalised snippet) are numbered
+    0, 1, 2, ... in (path, line, col) order so each gets a distinct
+    fingerprint; occurrence 0 keeps the pre-migration fingerprint.
+    """
     rules = list(rules) if rules is not None else default_rules()
-    sources_by_path = {str(src.path): src for src in sources}
     findings: list[Finding] = []
     for rule in rules:
         if isinstance(rule, ProjectRule):
@@ -188,12 +255,29 @@ def run_rules(
         else:
             for src in sources:
                 findings.extend(rule.check(src))
-    kept = []
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    counts: dict[tuple[str, str, str], int] = {}
+    numbered: list[Finding] = []
     for finding in findings:
+        key = (finding.rule, finding.module, " ".join(finding.snippet.split()))
+        n = counts.get(key, 0)
+        counts[key] = n + 1
+        numbered.append(replace(finding, occurrence=n) if n else finding)
+    return numbered
+
+
+def run_rules(
+    sources: Sequence[SourceFile],
+    rules: Iterable[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> list[Finding]:
+    """Run *rules* over *sources*, dropping suppressed findings."""
+    sources_by_path = {str(src.path): src for src in sources}
+    kept = []
+    for finding in collect_findings(sources, rules):
         if _suppressed_inline(finding, sources_by_path):
             continue
         if baseline is not None and baseline.contains(finding):
             continue
         kept.append(finding)
-    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return kept

@@ -1,0 +1,320 @@
+"""Key-secrecy and untrusted-input taint rules (SEC001–003, TNT001–002).
+
+TNIC's security argument (§4, §6) makes two flow claims this module
+turns into lint rules on top of :mod:`repro.analysis.dataflow`:
+
+1. **Key secrecy** — session/HW key material lives in the attestation
+   kernel's Keystore and never leaves the TCB.  ``tests/test_secrecy.py``
+   checks this dynamically for the modelled protocol runs; the SEC rules
+   check it statically for *every* path in the code:
+
+   * ``SEC001`` — key material reaches a wire / log / telemetry /
+     serialization sink, or is passed to an untrusted layer;
+   * ``SEC002`` — key material compared with ``==`` / ``!=`` (timing
+     side channel; use ``hmac.compare_digest``);
+   * ``SEC003`` — key material stored in an attribute / container of a
+     module outside the TCB packages.
+
+2. **Verified ingress** — every untrusted wire input passes attestation
+   verification before it can mutate trusted state:
+
+   * ``TNT001`` — bytes from a receive queue reach a counter advance or
+     keystore mutation without passing a verify sanitizer;
+   * ``TNT002`` — a verification result is discarded (a bare-statement
+     call to a verify-family function).
+
+:data:`TNIC_MANIFEST` is the declarative policy: where taint is born
+(``key_for`` returns, ``_session_keys`` / ``_hw_keys`` reads, ``key``
+parameters of TCB modules, ``rx_queue.get`` wire receives), where it
+must never arrive, and which calls launder it (HMAC computation and the
+attestation-verify family — their outputs are safe to share by
+construction).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.dataflow import (
+    SinkSpec,
+    SourceSpec,
+    TaintEngine,
+    TaintFlow,
+    TaintManifest,
+    call_name,
+    pattern_matches,
+)
+from repro.analysis.rules import Finding, ProjectRule, Rule
+from repro.analysis.walker import SourceFile
+
+#: The paper's TCB packages (mirrors boundaries.TRUSTED_PACKAGES; kept
+#: literal here so the manifest is one self-contained declaration).
+_TCB = ("repro.core", "repro.crypto", "repro.roce")
+
+TNIC_MANIFEST = TaintManifest(
+    sources=(
+        # Keystore reads: the only API handing out installed session keys.
+        SourceSpec(tag="key", call="key_for"),
+        # Direct reads of the underlying key stores (Keystore session
+        # memory, the manufacturer/vendor HW-key tables of §3.2).
+        SourceSpec(tag="key", attribute="_session_keys"),
+        SourceSpec(tag="key", attribute="_hw_keys"),
+        # Inside the TCB, parameters carrying key material are secrets
+        # from birth (callers outside can only have obtained them from
+        # the sources above, which interprocedural propagation covers).
+        SourceSpec(tag="key", param="key", packages=_TCB),
+        SourceSpec(tag="key", param="session_key", packages=_TCB),
+        SourceSpec(tag="key", param="hw_key", packages=_TCB),
+        # Raw wire ingress: the MAC receive queue and the per-QP
+        # reception lane feeding the verification pipeline.
+        SourceSpec(tag="wire", call="rx_queue.get"),
+        SourceSpec(tag="wire", call="lane.store.get"),
+    ),
+    sinks=(
+        # Logging.
+        SinkSpec("key", "log", "print"),
+        SinkSpec("key", "log", "logging.*"),
+        # Telemetry (repro.telemetry via the repro.sim.instrument hooks).
+        SinkSpec("key", "telemetry", "emit"),
+        SinkSpec("key", "telemetry", "count"),
+        SinkSpec("key", "telemetry", "gauge_set"),
+        SinkSpec("key", "telemetry", "observe"),
+        SinkSpec("key", "telemetry", "flight_trigger"),
+        SinkSpec("key", "telemetry", "span_begin"),
+        # Serialization.
+        SinkSpec("key", "serialize", "json.dumps"),
+        SinkSpec("key", "serialize", "json.dump"),
+        SinkSpec("key", "serialize", "pickle.dumps"),
+        SinkSpec("key", "serialize", "pickle.dump"),
+        # Wire transmit.
+        SinkSpec("key", "wire", "transmit"),
+        SinkSpec("key", "wire", "post_send"),
+        # Trusted-state mutation gated on verification (§6): counter
+        # advance and keystore writes must never consume raw wire bytes.
+        SinkSpec("wire", "trusted-state", "advance_recv"),
+        SinkSpec("wire", "trusted-state", "next_send"),
+        SinkSpec("wire", "trusted-state", "install"),
+        SinkSpec("wire", "trusted-state", "install_session"),
+    ),
+    sanitizers=(
+        # MAC/hash computation: outputs are safe to share by construction.
+        "hmac_sha256",
+        "sha256",
+        # Constant-time comparison and the attestation-verify family.
+        "compare_digest",
+        "hmac_verify",
+        "verify",
+        "verify_event",
+        "check_transferable",
+        "local_verify",
+    ),
+    compare_tags=("key",),
+    store_tags=("key",),
+    store_outside_packages=_TCB,
+    untrusted_call_tags=("key",),
+    trusted_packages=_TCB,
+)
+
+#: Verify-family calls whose result must be consumed (TNT002).  The
+#:  boolean verifiers are the dangerous ones: discarding the bool means
+#:  the caller proceeds as if verification had happened.
+_DISCARD_CHECKED = (
+    "hmac_verify",
+    "check_transferable",
+    "local_verify",
+    "verify_event",
+)
+
+
+# ----------------------------------------------------------------------
+# Shared engine run (all flow rules consume one analysis)
+# ----------------------------------------------------------------------
+
+_FLOW_CACHE: dict[tuple, tuple[TaintFlow, ...]] = {}
+_FLOW_CACHE_LIMIT = 8
+
+
+def project_flows(sources: Sequence[SourceFile]) -> tuple[TaintFlow, ...]:
+    """Run (or reuse) the taint engine for this exact source set."""
+    key = tuple((str(src.path), hash(src.source)) for src in sources)
+    cached = _FLOW_CACHE.get(key)
+    if cached is None:
+        cached = tuple(TaintEngine(sources, TNIC_MANIFEST).run())
+        if len(_FLOW_CACHE) >= _FLOW_CACHE_LIMIT:
+            _FLOW_CACHE.pop(next(iter(_FLOW_CACHE)))
+        _FLOW_CACHE[key] = cached
+    return cached
+
+
+class _FlowRule(ProjectRule):
+    """Shared shape: map engine flows with a given tag/kind to findings."""
+
+    tag = ""
+    kinds: tuple[str, ...] = ()
+
+    def message(self, flow: TaintFlow) -> str:
+        raise NotImplementedError
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        by_path = {str(src.path): src for src in sources}
+        for flow in project_flows(sources):
+            if flow.tag != self.tag or flow.kind not in self.kinds:
+                continue
+            src = by_path.get(flow.path)
+            snippet = src.line_text(flow.line) if src is not None else ""
+            yield Finding(
+                rule=self.rule_id, module=flow.module, path=flow.path,
+                line=flow.line, col=flow.col, message=self.message(flow),
+                snippet=snippet,
+            )
+
+
+class KeyToSinkRule(_FlowRule):
+    rule_id = "SEC001"
+    description = (
+        "key material flows to a wire/log/telemetry/serialization sink "
+        "or into an untrusted layer (§4 key secrecy)"
+    )
+    explanation = (
+        "TNIC's security argument needs session and HW key material to\n"
+        "stay inside the attestation kernel's TCB (paper §4.1: keys are\n"
+        "'unknown to the untrusted parties').  This rule follows key\n"
+        "material interprocedurally from the Keystore sources\n"
+        "(`key_for`, `_session_keys`/`_hw_keys` reads, TCB `key`\n"
+        "parameters) and fires when it can reach a `print`/logging call,\n"
+        "a telemetry hook (`emit`, `count`, ...), `json`/`pickle`\n"
+        "serialization, a wire transmit (`transmit`, `post_send`), or a\n"
+        "function defined outside the TCB packages.  Outputs of\n"
+        "`hmac_sha256`/`sha256` and the verify family are clean by\n"
+        "construction (one-way), so attestation certificates never fire."
+    )
+    tag = "key"
+    kinds = ("log", "telemetry", "serialize", "wire", "untrusted-call")
+
+    _KIND_WORDS = {
+        "log": "log",
+        "telemetry": "telemetry",
+        "serialize": "serialization",
+        "wire": "wire-transmit",
+        "untrusted-call": "untrusted-layer",
+    }
+
+    def message(self, flow: TaintFlow) -> str:
+        return (
+            f"key material reaches {self._KIND_WORDS[flow.kind]} sink "
+            f"`{flow.sink}`{flow.describe_path()}"
+        )
+
+
+class KeyCompareRule(_FlowRule):
+    rule_id = "SEC002"
+    description = (
+        "key material compared with non-constant-time `==`/`!=`; "
+        "use hmac.compare_digest"
+    )
+    explanation = (
+        "Comparing secrets with `==` short-circuits on the first\n"
+        "differing byte, leaking the match length through timing.  Any\n"
+        "comparison where either side carries key taint must go through\n"
+        "`hmac.compare_digest` (the repo's `hmac_verify` already does)."
+    )
+    tag = "key"
+    kinds = ("compare",)
+
+    def message(self, flow: TaintFlow) -> str:
+        return (
+            "key material compared with `==`/`!=` (timing side channel)"
+            f"{flow.describe_path()}; use hmac.compare_digest"
+        )
+
+
+class KeyEscrowRule(_FlowRule):
+    rule_id = "SEC003"
+    description = (
+        "key material stored in an attribute/container outside the TCB "
+        "packages (repro.core, repro.crypto, repro.roce)"
+    )
+    explanation = (
+        "The Keystore is 'static memory inside the trusted hardware'\n"
+        "(§4.1).  A copy of key material held in an object attribute or\n"
+        "container of an untrusted module outlives the call that\n"
+        "obtained it and widens the TCB silently.  Intentional\n"
+        "exceptions (e.g. the §3.2 manufacturer→vendor HW-key\n"
+        "disclosure) carry an inline `# lint: ignore[SEC003]` waiver."
+    )
+    tag = "key"
+    kinds = ("store",)
+
+    def message(self, flow: TaintFlow) -> str:
+        return (
+            f"key material stored outside the TCB: {flow.sink}"
+            f"{flow.describe_path()}"
+        )
+
+
+class UnverifiedIngressRule(_FlowRule):
+    rule_id = "TNT001"
+    description = (
+        "unverified wire bytes reach trusted-state mutation (counter "
+        "advance / keystore write) without a verify sanitizer (§6)"
+    )
+    explanation = (
+        "Algorithm 1 only advances `recv_cnt` after a fully successful\n"
+        "verification; the formal lemmas (§6) lean on that ordering.\n"
+        "This rule follows raw receive-queue bytes (`rx_queue.get`, the\n"
+        "rx-lane store) and fires when they reach `advance_recv`,\n"
+        "`next_send`, `install` or `install_session` without first\n"
+        "passing `verify`/`verify_event`/`hmac_verify`/\n"
+        "`check_transferable` (whose outputs are clean)."
+    )
+    tag = "wire"
+    kinds = ("trusted-state",)
+
+    def message(self, flow: TaintFlow) -> str:
+        return (
+            f"unverified wire input reaches trusted state `{flow.sink}`"
+            f"{flow.describe_path()}; verify before mutating"
+        )
+
+
+class DiscardedVerifyRule(Rule):
+    rule_id = "TNT002"
+    description = (
+        "attestation/verification result discarded (bare-statement call "
+        "to a verify-family function)"
+    )
+    explanation = (
+        "A verification that nobody reads is a verification that never\n"
+        "happened: `hmac_verify`, `check_transferable`, `local_verify`\n"
+        "and `verify_event` report their outcome through the return\n"
+        "value (a bool or an event), so calling them as a bare statement\n"
+        "means the caller proceeds regardless of the result."
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            value = node.value
+            if isinstance(value, (ast.Yield, ast.Await)) and value.value is not None:
+                value = value.value
+            if not isinstance(value, ast.Call):
+                continue
+            cname = call_name(value.func)
+            if cname is None:
+                continue
+            if any(pattern_matches(p, cname) for p in _DISCARD_CHECKED):
+                yield self.finding(
+                    src, value.lineno, value.col_offset,
+                    f"result of `{cname}()` is discarded; bind and check it",
+                )
+
+
+TAINT_RULES = (
+    KeyToSinkRule,
+    KeyCompareRule,
+    KeyEscrowRule,
+    UnverifiedIngressRule,
+    DiscardedVerifyRule,
+)

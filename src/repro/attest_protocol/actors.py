@@ -84,7 +84,8 @@ class Manufacturer:
         manufacturer and vendor trust each other)."""
         if serial not in self._hw_keys:
             raise ProtocolError(f"unknown device {serial}")
-        to_vendor.learn_hw_key(serial, self._hw_keys[serial])
+        # The one sanctioned key hand-off in the whole protocol (§3.2).
+        to_vendor.learn_hw_key(serial, self._hw_keys[serial])  # lint: ignore[SEC003]
 
 
 class TnicControllerDevice:

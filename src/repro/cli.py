@@ -10,7 +10,8 @@ capabilities without writing code:
 * ``attack``     — run the adversary campaigns and report the outcome.
 * ``resources``  — the Table-5 / Figure-13 FPGA resource analysis.
 * ``lint``       — the static-analysis passes (determinism, trusted
-  boundaries, sim-safety) plus the measured-TCB accounting report.
+  boundaries, sim-safety, key-secrecy/ingress taint) plus the
+  measured-TCB accounting report.
 * ``metrics``    — run a seeded cluster workload with telemetry on and
   print the metrics document (text, ``--json`` or ``--prom``).
 * ``trace``      — the same workload's trace buffer, filterable with
@@ -187,19 +188,43 @@ def _cmd_resources(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    """Exit codes: 0 clean, 1 findings (or stale-baseline report),
+    2 usage / internal error."""
+    try:
+        return _run_lint(args)
+    except Exception as exc:  # lint must never die with a traceback in CI
+        print(f"lint: internal error: {exc!r}", file=sys.stderr)
+        return 2
+
+
+def _run_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis import (
         Baseline,
         TcbReport,
+        collect_findings,
         collect_sources,
         default_baseline_path,
         default_package_root,
         default_tcb_artifact_path,
         render_json,
+        render_sarif,
         render_text,
+        rule_by_id,
         run_rules,
     )
+
+    if args.explain:
+        rule = rule_by_id(args.explain)
+        if rule is None:
+            print(f"lint: unknown rule: {args.explain}", file=sys.stderr)
+            return 2
+        print(f"{rule.rule_id}: {rule.description}")
+        if rule.explanation:
+            print()
+            print(rule.explanation)
+        return 0
 
     targets = [Path(p) for p in args.paths] or [default_package_root()]
     for target in targets:
@@ -217,8 +242,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"lint: wrote {len(findings)} finding(s) to {baseline_path}")
         return 0
 
+    if args.prune_baseline:
+        baseline = Baseline.load(baseline_path)
+        current = collect_findings(sources)
+        if args.dry_run:
+            stale = baseline.stale_entries(current)
+            for entry in stale:
+                print(
+                    f"lint: stale baseline entry {entry['fingerprint']} "
+                    f"({entry.get('rule', '?')} in {entry.get('module', '?')})"
+                )
+            print(f"lint: {len(stale)} stale baseline entr(y/ies)")
+            return 1 if stale else 0
+        removed = baseline.prune(current)
+        for entry in removed:
+            print(
+                f"lint: pruned {entry['fingerprint']} "
+                f"({entry.get('rule', '?')} in {entry.get('module', '?')})"
+            )
+        print(f"lint: pruned {len(removed)} stale entr(y/ies) from {baseline_path}")
+        return 0
+
     findings = run_rules(sources, baseline=Baseline.load(baseline_path))
-    print(render_json(findings) if args.format == "json" else render_text(findings))
+    if args.format == "json":
+        print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
+    else:
+        print(render_text(findings))
+    if args.sarif:
+        Path(args.sarif).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.sarif).write_text(
+            render_sarif(findings) + "\n", encoding="utf-8"
+        )
+        print(f"lint: SARIF written to {args.sarif}")
 
     if args.tcb_report:
         report = TcbReport.from_sources(sources)
@@ -324,13 +381,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static analysis: determinism, trusted boundaries, sim-safety",
+        help="static analysis: determinism, trusted boundaries, "
+             "sim-safety, key-secrecy/ingress taint",
     )
     lint.add_argument(
         "paths", nargs="*",
         help="files/directories to analyse (default: the repro package)",
     )
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text")
+    lint.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="additionally write a SARIF 2.1.0 document to FILE",
+    )
+    lint.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print the rationale for one rule (e.g. SEC001) and exit",
+    )
     lint.add_argument(
         "--baseline", default=None,
         help="baseline JSON of accepted findings "
@@ -339,6 +406,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--update-baseline", action="store_true",
         help="rewrite the baseline to accept every current finding",
+    )
+    lint.add_argument(
+        "--prune-baseline", action="store_true",
+        help="remove baseline entries that no longer match any finding",
+    )
+    lint.add_argument(
+        "--dry-run", action="store_true",
+        help="with --prune-baseline: only report stale entries "
+             "(exit 1 if any), do not rewrite the baseline",
     )
     lint.add_argument(
         "--tcb-report", action="store_true",

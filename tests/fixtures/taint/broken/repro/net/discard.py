@@ -1,0 +1,13 @@
+"""Seeded TNT002 violation: verification result thrown away."""
+
+
+def deliver(kernel, session_id, message, queue):
+    # The bool is never read: delivery proceeds whether or not the
+    # attestation checks out.
+    kernel.check_transferable(session_id, message)
+    queue.append(message)
+
+
+def open_sealed(key, mac, payload):
+    hmac_verify(key, mac, payload)
+    return payload

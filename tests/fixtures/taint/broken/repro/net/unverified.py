@@ -1,0 +1,12 @@
+"""Seeded TNT001 violation: wire bytes mutate trusted state unverified."""
+
+
+class BadReceiver:
+    """Advances the receive counter straight off the wire."""
+
+    def pump(self):
+        while True:
+            packet = yield self.rx_queue.get()
+            # No verify_event() between the receive queue and the
+            # counter: a forged packet advances trusted state.
+            self.counters.advance_recv(packet.counter)

@@ -1,0 +1,13 @@
+"""SEC003 negative: key storage *inside* the TCB packages is the job.
+
+This fixture resolves as ``repro.core.goodstore``, so the assignment
+below is the Keystore doing exactly what §4.1 says it should.
+"""
+
+
+class FixtureKeystore:
+    def __init__(self):
+        self._session_keys = {}
+
+    def install(self, session_id, key):
+        self._session_keys[session_id] = key

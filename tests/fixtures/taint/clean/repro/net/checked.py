@@ -1,0 +1,14 @@
+"""TNT002 negative: the verification result is bound and acted on."""
+
+
+def deliver(kernel, session_id, message, queue):
+    ok = kernel.check_transferable(session_id, message)
+    if not ok:
+        raise ValueError("attestation failed")
+    queue.append(message)
+
+
+def open_sealed(key, mac, payload):
+    if not hmac_verify(key, mac, payload):
+        raise ValueError("bad mac")
+    return payload

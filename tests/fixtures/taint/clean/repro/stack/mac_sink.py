@@ -1,0 +1,16 @@
+"""SEC001 negative: only HMAC *outputs* reach egress sinks.
+
+The key itself feeds hmac_sha256 (a sanitizer: one-way by
+construction), and only the MAC travels — exactly what the attestation
+kernel does with certificates.
+"""
+
+
+def publish_mac(sim, store, session_id, payload):
+    key = store.key_for(session_id)
+    emit(sim, "stack.mac", hmac_sha256(key, payload))
+
+
+def send_attested(mac, store, session_id, payload):
+    certificate = hmac_sha256(store.key_for(session_id), payload)
+    mac.transmit(certificate)

@@ -17,9 +17,11 @@ from repro.analysis import (
     Baseline,
     TcbReport,
     analyze_paths,
+    collect_findings,
     collect_sources,
     default_package_root,
     render_json,
+    render_sarif,
     render_text,
     rule_catalog,
     run_rules,
@@ -254,6 +256,67 @@ def test_baseline_suppresses_and_survives_line_moves(tmp_path):
                      baseline=Baseline.load(baseline_path)) == []
 
 
+def test_identical_lines_get_distinct_fingerprints(tmp_path):
+    # Two byte-identical offending lines used to hash to one fingerprint,
+    # so a single baseline entry silently waived both.
+    source = (
+        "import time\n\n"
+        "def a():\n"
+        "    return time.time()\n\n"
+        "def b():\n"
+        "    return time.time()\n"
+    )
+    path = _write_module(tmp_path, "repro/twice.py", source)
+    findings = [f for f in collect_findings([parse_file(path)])
+                if f.rule == "DET001"]
+    assert len(findings) == 2
+    assert findings[0].occurrence == 0 and findings[1].occurrence == 1
+    assert findings[0].fingerprint() != findings[1].fingerprint()
+
+    # Migration safety: occurrence 0 keeps the pre-index hash basis.
+    from dataclasses import replace
+
+    legacy = replace(findings[1], occurrence=0)
+    assert legacy.fingerprint() == findings[0].fingerprint()
+
+
+def test_baseline_waives_occurrences_individually(tmp_path):
+    source = (
+        "import time\n\n"
+        "def a():\n"
+        "    return time.time()\n\n"
+        "def b():\n"
+        "    return time.time()\n"
+    )
+    path = _write_module(tmp_path, "repro/twice.py", source)
+    findings = [f for f in collect_findings([parse_file(path)])
+                if f.rule == "DET001"]
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.write(baseline_path, findings[:1])  # waive only the first
+    kept = run_rules([parse_file(path)], baseline=Baseline.load(baseline_path))
+    assert [f.occurrence for f in kept if f.rule == "DET001"] == [1]
+
+
+def test_stale_baseline_entries_detected_and_pruned(tmp_path):
+    source = "import time\nNOW = time.time()\n"
+    path = _write_module(tmp_path, "repro/fixed.py", source)
+    src = parse_file(path)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.write(baseline_path, collect_findings([src]))
+    assert Baseline.load(baseline_path).stale_entries(collect_findings([src])) == []
+
+    # Fix the offending line: every entry for it is now stale.
+    path.write_text("NOW = 0.0\n")
+    fixed = parse_file(path)
+    baseline = Baseline.load(baseline_path)
+    stale = baseline.stale_entries(collect_findings([fixed]))
+    assert [e["rule"] for e in stale] == ["DET001"]
+
+    removed = baseline.prune(collect_findings([fixed]))
+    assert len(removed) == 1
+    assert Baseline.load(baseline_path).entries == []
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
@@ -276,8 +339,26 @@ def test_render_text_and_json(tmp_path):
 def test_rule_catalog_lists_every_pass():
     catalog = rule_catalog()
     assert {"DET001", "DET002", "DET003", "DET004", "DET005",
-            "SIM001", "SIM002", "SIM003", "BND001"} <= set(catalog)
+            "SIM001", "SIM002", "SIM003", "BND001",
+            "SEC001", "SEC002", "SEC003", "TNT001", "TNT002"} <= set(catalog)
     assert all(catalog.values())
+
+
+def test_render_sarif_is_valid_and_carries_fingerprints(tmp_path):
+    path = _write_module(
+        tmp_path, "repro/render_me.py",
+        "import time\nNOW = time.time()\n",
+    )
+    findings = run_rules([parse_file(path)])
+    document = json.loads(render_sarif(findings))
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "tnic-lint"
+    result = run["results"][0]
+    assert result["ruleId"] == "DET001"
+    assert result["partialFingerprints"]["tnicLint/v1"] == findings[0].fingerprint()
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
 
 
 # ----------------------------------------------------------------------

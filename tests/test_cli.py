@@ -96,6 +96,64 @@ def test_lint_command_rejects_missing_path(capsys):
     assert main(["lint", "/nonexistent/path.py"]) == 2
 
 
+def test_lint_command_sarif_format(capsys):
+    import json
+
+    assert main(["lint", "--format", "sarif"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["results"] == []
+
+
+def test_lint_command_sarif_file_with_findings(tmp_path, capsys):
+    import json
+
+    module = tmp_path / "bad.py"
+    module.write_text("import time\nNOW = time.time()\n")
+    sarif_path = tmp_path / "out" / "lint.sarif"
+    assert main(["lint", str(module), "--sarif", str(sarif_path)]) == 1
+    document = json.loads(sarif_path.read_text())
+    results = document["runs"][0]["results"]
+    assert results and results[0]["ruleId"] == "DET001"
+    assert "SARIF written" in capsys.readouterr().out
+
+
+def test_lint_command_explain_known_and_unknown_rule(capsys):
+    assert main(["lint", "--explain", "SEC001"]) == 0
+    out = capsys.readouterr().out
+    assert "SEC001" in out and "key" in out.lower()
+    assert main(["lint", "--explain", "TNT001"]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--explain", "NOPE999"]) == 2
+
+
+def test_lint_command_prune_baseline_flow(tmp_path, capsys):
+    import json
+
+    module = tmp_path / "legacy.py"
+    module.write_text("import time\nNOW = time.time()\n")
+    baseline = tmp_path / "accepted.json"
+    assert main(["lint", str(module), "--update-baseline",
+                 "--baseline", str(baseline)]) == 0
+
+    # Nothing stale while the offending line is still present.
+    assert main(["lint", str(module), "--prune-baseline", "--dry-run",
+                 "--baseline", str(baseline)]) == 0
+
+    # Fix the file: the entry goes stale; dry-run reports (exit 1),
+    # the real prune rewrites the baseline (exit 0).
+    module.write_text("NOW = 0.0\n")
+    capsys.readouterr()
+    assert main(["lint", str(module), "--prune-baseline", "--dry-run",
+                 "--baseline", str(baseline)]) == 1
+    assert "stale" in capsys.readouterr().out
+    assert main(["lint", str(module), "--prune-baseline",
+                 "--baseline", str(baseline)]) == 0
+    assert json.loads(baseline.read_text())["findings"] == []
+    assert main(["lint", str(module), "--prune-baseline", "--dry-run",
+                 "--baseline", str(baseline)]) == 0
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bogus"])
