@@ -4,73 +4,32 @@ Infrastructure benchmark: how many simulation events per wall-clock
 second the discrete-event kernel sustains.  Keeps the substrate honest:
 every paper experiment runs on this loop, so regressions here inflate
 every other bench's wall time.
+
+The workload definitions live in :mod:`repro.bench.kernel_workloads`
+and are shared with ``benchmarks/run_all.py`` and the CI perf-smoke
+gate, so the number this bench prints is the number CI enforces.
 """
 
 from conftest import register_artefact
 
 from repro.bench import Table
-from repro.sim import Simulator
-from repro.sim.resources import Resource, Store
+from kernel_measure import measure_workload
 
-EVENTS = 20_000
-
-
-def timeout_storm():
-    sim = Simulator()
-    for i in range(EVENTS):
-        sim.timeout(float(i % 97))
-    sim.run()
-    return EVENTS
-
-
-def process_chains():
-    sim = Simulator()
-
-    def worker(n):
-        for _ in range(n):
-            yield sim.timeout(1.0)
-
-    per_proc = 200
-    for _ in range(EVENTS // per_proc):
-        sim.process(worker(per_proc))
-    sim.run()
-    return EVENTS
-
-
-def contended_resource():
-    sim = Simulator()
-    lock = Resource(sim, capacity=1)
-    store = Store(sim)
-
-    def user(n):
-        for _ in range(n):
-            yield lock.acquire()
-            yield sim.timeout(0.5)
-            lock.release()
-            store.put(1)
-
-    per_proc = 100
-    for _ in range(EVENTS // (per_proc * 3)):
-        sim.process(user(per_proc))
-    sim.run()
-    return len(store)
+from repro.bench.kernel_workloads import (
+    DEFAULT_EVENTS as EVENTS,
+    WORKLOADS,
+    timeout_storm,
+)
+from repro.crypto import reset_verification_cache, verification_cache_stats
 
 
 def test_sim_kernel_throughput(benchmark):
-    import time
+    rows = [
+        (name.replace("_", " "), measure_workload(fn, EVENTS, rounds=3))
+        for name, fn in WORKLOADS
+    ]
 
-    rows = []
-    for name, fn in [
-        ("timeout storm", timeout_storm),
-        ("process chains", process_chains),
-        ("contended resource", contended_resource),
-    ]:
-        start = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - start
-        rows.append((name, EVENTS / elapsed))
-
-    benchmark.pedantic(timeout_storm, rounds=3, iterations=1)
+    benchmark.pedantic(timeout_storm, args=(EVENTS,), rounds=3, iterations=1)
 
     # The kernel must sustain at least 100k events/s on any host this
     # runs on — far below typical, but catches pathological regressions.
@@ -83,4 +42,30 @@ def test_sim_kernel_throughput(benchmark):
     )
     for name, rate in rows:
         table.add_row(name, f"{rate:,.0f}")
-    register_artefact("Simulator kernel", table.render())
+    register_artefact(
+        "Simulator kernel",
+        table.render(),
+        data={
+            "events_per_run": EVENTS,
+            "events_per_second": {
+                name: round(rate) for name, rate in rows
+            },
+        },
+    )
+
+
+def test_verification_cache_effective_on_transferable_auth():
+    """Chain replication re-verifies forwarded attestations, so the
+    verification cache must show real hits — and none of them may leak
+    across virtual-time semantics (the tier-1 golden-trace test pins
+    that separately)."""
+    from repro.bench import kv_workload
+    from repro.systems.chain import ChainReplication
+
+    reset_verification_cache()
+    system = ChainReplication("tnic", chain_length=3, seed=5)
+    system.run_workload(kv_workload(10, read_fraction=0.3, value_bytes=60,
+                                    seed=5))
+    stats = verification_cache_stats()
+    assert stats["hits"] > 0, stats
+    assert 0.0 < stats["hit_rate"] < 1.0, stats

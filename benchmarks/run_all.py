@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Standalone kernel-performance runner (no pytest required).
+
+Measures the canonical simulator-kernel workloads plus the HMAC
+verification-cache effectiveness on the Figure 11 chain-replication
+round, and writes ``benchmarks/results/BENCH_sim_kernel.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py
+    PYTHONPATH=src python benchmarks/run_all.py --check-regression
+
+``--check-regression`` exits non-zero when the timeout-storm rate falls
+below :data:`REGRESSION_FLOOR_EVENTS_PER_S` — the rate the *seed* kernel
+sustained on the CI class of machine, so any machine that runs the
+optimized kernel slower than the unoptimized one fails loudly.  CI runs
+this as the perf-smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from kernel_measure import measure_all  # noqa: E402
+
+from repro.bench import kv_workload  # noqa: E402
+from repro.bench.kernel_workloads import DEFAULT_EVENTS  # noqa: E402
+from repro.crypto import reset_verification_cache, verification_cache_stats
+from repro.systems.chain import ChainReplication
+
+#: The seed (pre-fast-path) kernel's timeout-storm rate on the CI
+#: machine class.  The optimized kernel targets >= 2x this; dipping
+#: below it means the fast path regressed to worse than no fast path.
+REGRESSION_FLOOR_EVENTS_PER_S = 364_852
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_sim_kernel.json"
+
+
+def measure_hmac_cache() -> dict:
+    """Verification-cache hit rate over one chain-replication round.
+
+    Chain replication forwards the head's attested proof down the chain,
+    so every non-adjacent node re-verifies the same (message, α) pair —
+    the transferable-authentication pattern the cache exists for.
+    """
+    reset_verification_cache()
+    system = ChainReplication("tnic", chain_length=3, seed=5)
+    system.run_workload(kv_workload(10, read_fraction=0.3, value_bytes=60,
+                                    seed=5))
+    stats = verification_cache_stats()
+    reset_verification_cache()
+    return stats
+
+
+def run(rounds: int = 5) -> dict:
+    rates = measure_all(DEFAULT_EVENTS, rounds=rounds)
+    return {
+        "events_per_run": DEFAULT_EVENTS,
+        "rounds": rounds,
+        "events_per_second": {k: round(v) for k, v in rates.items()},
+        "hmac_verification_cache": measure_hmac_cache(),
+        "regression_floor_events_per_second": REGRESSION_FLOOR_EVENTS_PER_S,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-regression", action="store_true",
+        help="exit 1 if timeout_storm falls below the seed-kernel floor",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="measurement rounds per workload (best-of; default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(rounds=args.rounds)
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+
+    print(f"simulator kernel ({report['events_per_run']:,} events, "
+          f"best of {report['rounds']})")
+    for name, rate in report["events_per_second"].items():
+        print(f"  {name:22s} {rate:>12,} events/s")
+    cache = report["hmac_verification_cache"]
+    print(f"  hmac verify cache      hits={cache['hits']} "
+          f"misses={cache['misses']} hit_rate={cache['hit_rate']:.2%}")
+    print(f"wrote {RESULTS_PATH}")
+
+    if args.check_regression:
+        storm = report["events_per_second"]["timeout_storm"]
+        if storm < REGRESSION_FLOOR_EVENTS_PER_S:
+            print(
+                f"PERF REGRESSION: timeout_storm {storm:,} events/s is "
+                f"below the seed-kernel floor "
+                f"{REGRESSION_FLOOR_EVENTS_PER_S:,}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"perf smoke OK: timeout_storm {storm:,} >= floor "
+              f"{REGRESSION_FLOOR_EVENTS_PER_S:,}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,7 +58,7 @@ class UnknownSessionError(AttestationError):
     """No key installed for the session."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttestedMessage:
     """A message plus its attestation certificate α and metadata.
 
@@ -119,9 +119,11 @@ class AttestationKernel:
         )  # Algo 1: L4
         self.attest_count += 1
         if self.sim is not None:
-            emit(self.sim, "attest.generate",
-                 f"session={session_id} cnt={counter} {len(payload)}B",
-                 device=self.device_id)
+            if self.sim.tracer is not None:
+                # Gate here so the f-string is never built untraced.
+                emit(self.sim, "attest.generate",
+                     f"session={session_id} cnt={counter} {len(payload)}B",
+                     device=self.device_id)
             count(self.sim, "attest.generate", device=self.device_id)
             gauge_set(self.sim, "attest.send_cnt", counter + 1,
                       device=self.device_id, session=session_id)
@@ -152,9 +154,10 @@ class AttestationKernel:
         ):
             self.reject_count += 1
             if self.sim is not None:
-                emit(self.sim, "attest.reject",
-                     f"bad MAC session={session_id} cnt={message.counter}",
-                     device=self.device_id)
+                if self.sim.tracer is not None:
+                    emit(self.sim, "attest.reject",
+                         f"bad MAC session={session_id} cnt={message.counter}",
+                         device=self.device_id)
                 count(self.sim, "attest.reject",
                       device=self.device_id, reason="mac")
                 flight_trigger(self.sim, "attest.reject",
@@ -168,9 +171,10 @@ class AttestationKernel:
         if message.counter != expected:
             self.reject_count += 1
             if self.sim is not None:
-                emit(self.sim, "attest.reject",
-                     f"continuity session={session_id} expected={expected} "
-                     f"got={message.counter}", device=self.device_id)
+                if self.sim.tracer is not None:
+                    emit(self.sim, "attest.reject",
+                         f"continuity session={session_id} expected={expected} "
+                         f"got={message.counter}", device=self.device_id)
                 count(self.sim, "attest.reject",
                       device=self.device_id, reason="continuity")
                 flight_trigger(self.sim, "attest.reject",

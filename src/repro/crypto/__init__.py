@@ -17,7 +17,15 @@ crypto engines is modelled, in :mod:`repro.sim.latency`.
 
 from repro.crypto.certificates import Certificate, CertificateError
 from repro.crypto.hashing import sha256, sha256_hex
-from repro.crypto.hmac_engine import HmacEngine, hmac_sha256, hmac_verify
+from repro.crypto.hmac_engine import (
+    HmacEngine,
+    VerificationCache,
+    hmac_sha256,
+    hmac_verify,
+    reset_verification_cache,
+    verification_cache,
+    verification_cache_stats,
+)
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
 
 __all__ = [
@@ -26,9 +34,13 @@ __all__ = [
     "HmacEngine",
     "RsaKeyPair",
     "RsaPublicKey",
+    "VerificationCache",
     "generate_keypair",
     "hmac_sha256",
     "hmac_verify",
+    "reset_verification_cache",
     "sha256",
     "sha256_hex",
+    "verification_cache",
+    "verification_cache_stats",
 ]

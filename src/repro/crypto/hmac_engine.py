@@ -1,9 +1,18 @@
 """HMAC-SHA256: the MAC behind TNIC attestation certificates.
 
-Two layers live here:
+Three layers live here:
 
 * Plain functions :func:`hmac_sha256` / :func:`hmac_verify` computing
   real MACs (used everywhere an attestation α is produced or checked).
+* :class:`VerificationCache`, a wall-clock-only memo of verification
+  *outcomes*: transferable authentication means the same attested
+  message is re-verified by every receiver it is forwarded to (e.g.
+  the head's proof at every chain node), and the check is pure.  The
+  cache never touches virtual time — pipelined verification still
+  charges full HMAC-pipeline occupancy — and it cannot go stale for a
+  "same payload, new counter" message because the counter is inside
+  the cached message encoding.  Raw key bytes never enter the cache:
+  entries are keyed by a one-way key fingerprint.
 * :class:`HmacEngine`, a model of the attestation kernel's hardware
   HMAC unit: one byte-serial pipeline whose occupancy creates queueing
   when many messages contend for it (the reason TNIC latency grows with
@@ -12,7 +21,9 @@ Two layers live here:
 
 from __future__ import annotations
 
+import hashlib as _hashlib
 import hmac as _hmac
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.crypto.hashing import canonical_bytes
@@ -33,10 +44,102 @@ def hmac_sha256(key: bytes, *parts) -> bytes:
     return _hmac.new(key, canonical_bytes(parts), "sha256").digest()
 
 
+class VerificationCache:
+    """LRU memo of ``(key, message, mac) -> bool`` verification results.
+
+    Entries are keyed by ``(key_id, message, mac)`` where ``key_id`` is
+    a domain-separated SHA-256 of the key — the key itself is never
+    retained.  Both outcomes are cached: re-presenting a *forged* α is
+    exactly as deterministic as re-presenting a valid one.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, bool] = OrderedDict()
+
+    @staticmethod
+    def key_id(key: bytes) -> bytes:
+        """One-way fingerprint of *key* (safe to hold in the cache)."""
+        return _hashlib.sha256(b"tnic.verify-cache.v1:" + key).digest()
+
+    def lookup(self, cache_key: tuple) -> bool | None:
+        entry = self._entries.get(cache_key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(cache_key)
+        self.hits += 1
+        return entry
+
+    def store(self, cache_key: tuple, result: bool) -> None:
+        entries = self._entries
+        entries[cache_key] = result
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+
+#: Process-wide cache used by :func:`hmac_verify`.  Wall-clock-only:
+#: virtual-time behaviour is identical with the cache cleared, disabled
+#: or full (pinned by tests/test_golden_trace.py).
+verification_cache = VerificationCache()
+
+
+def reset_verification_cache() -> None:
+    """Drop all memoized verification results and zero the counters."""
+    verification_cache.clear()
+
+
+def verification_cache_stats() -> dict:
+    """Snapshot of hit/miss counters (for benchmarks and tests)."""
+    return verification_cache.stats()
+
+
 def hmac_verify(key: bytes, mac: bytes, *parts) -> bool:
-    """Constant-time comparison of *mac* against the expected MAC."""
-    expected = hmac_sha256(key, *parts)
-    return _hmac.compare_digest(expected, mac)
+    """Constant-time comparison of *mac* against the expected MAC.
+
+    Results are memoized in :data:`verification_cache`; the counter and
+    every other MAC input is part of the cached message encoding, so no
+    distinct input can ever hit another input's entry.
+    """
+    if not isinstance(key, bytes) or not key:
+        raise ValueError("HMAC key must be non-empty bytes")
+    message = canonical_bytes(parts)
+    cache_key = (VerificationCache.key_id(key), message, mac)
+    cached = verification_cache.lookup(cache_key)
+    if cached is not None:
+        return cached
+    expected = _hmac.new(key, message, "sha256").digest()
+    result = _hmac.compare_digest(expected, mac)
+    verification_cache.store(cache_key, result)
+    return result
 
 
 class HmacEngine:

@@ -95,12 +95,16 @@ class Link:
         """Move *packet* from *sender* toward the opposite end."""
         receiver = self._peer(sender)
         outcome = packet
+        # One gate for the whole hop: packet.describe() is only built
+        # when a tracer is attached.
+        traced = self.sim.tracer is not None
 
         if self.fault.tamper is not None:
             modified = self.fault.tamper(packet)
             if modified is not None and modified is not packet:
                 self.stats.tampered += 1
-                emit(self.sim, "fabric.tamper", packet.describe())
+                if traced:
+                    emit(self.sim, "fabric.tamper", packet.describe())
                 count(self.sim, "fabric.tampered")
                 outcome = modified
 
@@ -108,7 +112,8 @@ class Link:
             self.fault.drop_probability
         ):
             self.stats.dropped += 1
-            emit(self.sim, "fabric.drop", packet.describe())
+            if traced:
+                emit(self.sim, "fabric.drop", packet.describe())
             count(self.sim, "fabric.dropped")
             return
 
@@ -117,8 +122,9 @@ class Link:
             self.fault.reorder_probability
         ):
             self.stats.reordered += 1
-            emit(self.sim, "fabric.reorder", packet.describe(),
-                 extra_delay_us=self.fault.reorder_extra_delay_us)
+            if traced:
+                emit(self.sim, "fabric.reorder", packet.describe(),
+                     extra_delay_us=self.fault.reorder_extra_delay_us)
             count(self.sim, "fabric.reordered")
             delay += self.fault.reorder_extra_delay_us
 
@@ -128,7 +134,8 @@ class Link:
             self.fault.duplicate_probability
         ):
             self.stats.duplicated += 1
-            emit(self.sim, "fabric.duplicate", packet.describe())
+            if traced:
+                emit(self.sim, "fabric.duplicate", packet.describe())
             count(self.sim, "fabric.duplicated")
             self._deliver_after(delay + 1.0, receiver, outcome)
 
@@ -139,7 +146,8 @@ class Link:
             if self.rng.chance(self.fault.replay_probability):
                 victim_receiver, stale = self.rng.choice(self._replay_buffer)
                 self.stats.replayed += 1
-                emit(self.sim, "fabric.replay", stale.describe())
+                if traced:
+                    emit(self.sim, "fabric.replay", stale.describe())
                 count(self.sim, "fabric.replayed")
                 self._deliver_after(delay + 5.0, victim_receiver, stale)
 
@@ -182,25 +190,29 @@ class Fabric:
 
     def carry(self, sender: EthernetMac, packet: Packet) -> None:
         """Switch *packet* to the MAC named in its Ethernet header."""
+        traced = self.sim.tracer is not None
         receiver = self._macs.get(packet.eth.dst_mac)
         if receiver is None:
             self.stats.dropped += 1
-            emit(self.sim, "fabric.drop",
-                 f"no port for {packet.eth.dst_mac}")
+            if traced:
+                emit(self.sim, "fabric.drop",
+                     f"no port for {packet.eth.dst_mac}")
             count(self.sim, "fabric.dropped")
             return
         if self.fault.tamper is not None:
             modified = self.fault.tamper(packet)
             if modified is not None and modified is not packet:
                 self.stats.tampered += 1
-                emit(self.sim, "fabric.tamper", packet.describe())
+                if traced:
+                    emit(self.sim, "fabric.tamper", packet.describe())
                 count(self.sim, "fabric.tampered")
                 packet = modified
         if self.fault.drop_probability and self.rng.chance(
             self.fault.drop_probability
         ):
             self.stats.dropped += 1
-            emit(self.sim, "fabric.drop", packet.describe())
+            if traced:
+                emit(self.sim, "fabric.drop", packet.describe())
             count(self.sim, "fabric.dropped")
             return
         delay = self.propagation_us
@@ -208,8 +220,9 @@ class Fabric:
             self.fault.reorder_probability
         ):
             self.stats.reordered += 1
-            emit(self.sim, "fabric.reorder", packet.describe(),
-                 extra_delay_us=self.fault.reorder_extra_delay_us)
+            if traced:
+                emit(self.sim, "fabric.reorder", packet.describe(),
+                     extra_delay_us=self.fault.reorder_extra_delay_us)
             count(self.sim, "fabric.reordered")
             delay += self.fault.reorder_extra_delay_us
         self.stats.delivered += 1

@@ -40,7 +40,7 @@ class RdmaOpcode(enum.Enum):
     NAK = "nak"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EthernetHeader:
     src_mac: str
     dst_mac: str
@@ -48,7 +48,7 @@ class EthernetHeader:
     size_bytes = ETHERNET_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ipv4Header:
     src_ip: str
     dst_ip: str
@@ -56,7 +56,7 @@ class Ipv4Header:
     size_bytes = IPV4_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UdpHeader:
     src_port: int
     dst_port: int = ROCE_V2_UDP_PORT
@@ -64,7 +64,7 @@ class UdpHeader:
     size_bytes = UDP_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IbTransportHeader:
     """InfiniBand Base Transport Header (the RoCE transport layer)."""
 
@@ -76,7 +76,7 @@ class IbTransportHeader:
     size_bytes = BTH_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttestationTrailer:
     """The TNIC extension appended to every attested payload."""
 
@@ -94,7 +94,7 @@ class AttestationTrailer:
             raise ValueError("send_cnt must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Packet:
     """One RoCE v2 packet on the simulated wire."""
 

@@ -187,7 +187,10 @@ class RoceKernel:
                 psn = state.record_send(packet, self.sim.now)
                 packet = self._with_psn(packet, psn, qp.remote_qp_number)
                 state.inflight[-1].packet = packet
-                emit(self.sim, "roce.tx", packet.describe(), node=self.ip)
+                if self.sim.tracer is not None:
+                    # Gate at the call site: packet.describe() is too
+                    # expensive to build for a discarded record.
+                    emit(self.sim, "roce.tx", packet.describe(), node=self.ip)
                 count(self.sim, "roce.tx_packets", node=self.ip)
                 self.mac.transmit(packet)
                 last_psn = psn
@@ -278,9 +281,10 @@ class RoceKernel:
                     self._pump_tx(qp_number)
                 continue
             # Go-back-N: resend every unacknowledged packet in order.
-            emit(self.sim, "roce.retransmit",
-                 f"timeout qp={qp_number}", inflight=len(state.inflight),
-                 node=self.ip)
+            if self.sim.tracer is not None:
+                emit(self.sim, "roce.retransmit",
+                     f"timeout qp={qp_number}", inflight=len(state.inflight),
+                     node=self.ip)
             count(self.sim, "roce.retransmit_timeouts",
                   node=self.ip, qp=qp_number)
             for entry in list(state.inflight):
@@ -435,9 +439,10 @@ class RoceKernel:
         """Rewind the arrival cursor to the delivered watermark and
         invalidate queued packets; a correct sender's go-back-N
         retransmission will re-supply the genuine sequence."""
-        emit(self.sim, "roce.reject",
-             f"qp={qp.qp_number} rewind to psn={state.expected_recv_psn}",
-             node=self.ip)
+        if self.sim.tracer is not None:
+            emit(self.sim, "roce.reject",
+                 f"qp={qp.qp_number} rewind to psn={state.expected_recv_psn}",
+                 node=self.ip)
         count(self.sim, "roce.reject", node=self.ip)
         flight_trigger(self.sim, "roce.reject", node=self.ip,
                        qp=qp.qp_number, rewind_to=state.expected_recv_psn)
@@ -475,9 +480,10 @@ class RoceKernel:
                 ok=True,
             )
         )
-        emit(self.sim, "roce.rx",
-             f"delivered qp={qp.qp_number} msn={msn} {len(payload)}B",
-             node=self.ip)
+        if self.sim.tracer is not None:
+            emit(self.sim, "roce.rx",
+                 f"delivered qp={qp.qp_number} msn={msn} {len(payload)}B",
+                 node=self.ip)
         count(self.sim, "roce.rx_delivered", node=self.ip)
         self._send_ack(qp, packet.bth.psn, msn)
         if self.deliver_hook is not None:

@@ -9,16 +9,39 @@ so measurements are exactly reproducible.
 
 Time unit: **microseconds** throughout the repository, matching the
 paper's reporting unit (µs).
+
+Hot path.  :meth:`Simulator.run` is the inner loop under every
+reproduced figure (§8), so it avoids per-event ``heappop`` entirely:
+each pass snapshots the queue, sorts it once (``list.sort`` beats n
+heappops by a wide margin, and a sorted list is itself a valid
+min-heap), and walks it with plain indexing.  Events scheduled *during*
+the walk land in a fresh heap that is interleaved by timestamp, and any
+unconsumed remainder is merged back before :meth:`run` returns, so the
+queue is always a valid heap at the API boundary.  Scheduling while the
+loop is *not* running is a bare ``list.append`` (the next ``run``/
+``step`` sorts anyway).  All of this is wall-clock-only:
+``tests/test_golden_trace.py`` pins event ordering and virtual-time
+results against pre-fast-path goldens.
+
+Scheduling invariant: every path into the queue — :meth:`_schedule_at`,
+:meth:`_enqueue_triggered` and the :class:`Timeout` fast lane — appends
+a ``(when, tiebreak, event)`` entry drawing from the *single*
+``_tiebreak`` counter, so same-timestamp events always process in FIFO
+scheduling order, no matter which path scheduled them.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from itertools import count
 from typing import Any, Callable, Generator, Iterable
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+
+_PROCESSED = Event.PROCESSED
+_TRIGGERED = Event.TRIGGERED
+_new_timeout = Timeout.__new__
 
 
 class EmptySchedule(Exception):
@@ -32,6 +55,12 @@ class Simulator:
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._tiebreak = count()
+        #: True while :meth:`run` is draining — scheduling then must
+        #: keep the live heap valid (heappush instead of append).
+        self._running = False
+        #: False when the queue may violate the heap invariant (bare
+        #: appends while idle); :meth:`step`/:meth:`run` restore it.
+        self._heaped = True
         #: Optional structured tracer (see :mod:`repro.sim.trace`).
         self.tracer = None
         #: Optional telemetry hub (see :mod:`repro.telemetry`); the
@@ -54,8 +83,32 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers *delay* µs from now."""
-        return Timeout(self, delay, value)
+        """Create an event that triggers *delay* µs from now.
+
+        This is the single hottest allocation site in the repository
+        (every wire hop, DMA transfer and pipeline occupancy is one
+        timeout), so it builds the :class:`Timeout` inline via
+        ``__new__`` — one frame instead of ``timeout()`` →
+        ``type.__call__`` → ``Timeout.__init__``.  The stores below
+        mirror :meth:`Timeout.__init__` exactly.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        timeout = _new_timeout(Timeout)
+        timeout.sim = self
+        timeout.callbacks = []
+        timeout._state = _TRIGGERED
+        timeout._value = value
+        timeout._exception = None
+        timeout.delay = delay
+        if self._running:
+            heappush(self._queue,
+                     (self._now + delay, next(self._tiebreak), timeout))
+        else:
+            self._queue.append(
+                (self._now + delay, next(self._tiebreak), timeout))
+            self._heaped = False
+        return timeout
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start a new process running *generator* in virtual time."""
@@ -72,27 +125,46 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling internals (used by Event/Timeout)
     # ------------------------------------------------------------------
+    def _push(self, when: float, event: Event) -> None:
+        """The one scheduling primitive: enqueue *event* at *when*.
+
+        Every entry shares this tuple shape and tiebreak counter (the
+        :class:`Timeout` fast lane replicates it verbatim); FIFO order
+        among same-timestamp events is therefore global.
+        """
+        if self._running:
+            heappush(self._queue, (when, next(self._tiebreak), event))
+        else:
+            self._queue.append((when, next(self._tiebreak), event))
+            self._heaped = False
+
     def _schedule_at(self, when: float, event: Event) -> None:
         if when < self._now:
             raise ValueError(f"cannot schedule into the past: {when} < {self._now}")
-        heapq.heappush(self._queue, (when, next(self._tiebreak), event))
+        self._push(when, event)
 
     def _enqueue_triggered(self, event: Event) -> None:
-        heapq.heappush(self._queue, (self._now, next(self._tiebreak), event))
+        self._push(self._now, event)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Process the single earliest scheduled event."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise EmptySchedule()
-        when, _, event = heapq.heappop(self._queue)
+        if not self._heaped:
+            queue.sort()  # a sorted list is a valid min-heap
+            self._heaped = True
+        when, _, event = heappop(queue)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()
-        for callback in callbacks:
-            callback(event)
+        event._state = _PROCESSED
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            for callback in callbacks:
+                callback(event)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the event loop.
@@ -102,33 +174,92 @@ class Simulator:
         * ``until=<Event>`` — run until that event is processed and return
           its value (raising its exception if it failed).
         """
+        sentinel: Event | None = None
+        deadline: float | None = None
         if isinstance(until, Event):
             sentinel = until
-            while not sentinel.processed:
-                if not self._queue:
-                    raise RuntimeError(
-                        "simulation ran out of events before the awaited "
-                        "event triggered (deadlock?)"
-                    )
-                self.step()
+            if sentinel._state == _PROCESSED:
+                return sentinel.value
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError("run(until=...) is in the past")
+
+        if self._running:
+            raise RuntimeError("run() called from inside the event loop")
+        self._running = True
+        try:
+            self._drain(sentinel, deadline)
+        finally:
+            self._running = False
+
+        if sentinel is not None:
+            if sentinel._state != _PROCESSED:
+                raise RuntimeError(
+                    "simulation ran out of events before the awaited "
+                    "event triggered (deadlock?)"
+                )
             return sentinel.value
-        if until is None:
-            while self._queue:
-                self.step()
-            return None
-        deadline = float(until)
-        if deadline < self._now:
-            raise ValueError("run(until=...) is in the past")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
-        self._now = deadline
+        if deadline is not None:
+            self._now = deadline
         return None
+
+    def _drain(self, sentinel: Event | None, deadline: float | None) -> None:
+        """Sorted-batch event loop shared by every :meth:`run` mode.
+
+        Exits with ``self._queue`` a valid heap holding exactly the
+        unprocessed events — including when a callback raises.
+        """
+        while True:
+            pending = self._queue
+            if not pending:
+                return
+            pending.sort()
+            self._heaped = True
+            # New events scheduled by callbacks land here (as a heap).
+            self._queue = fresh = []
+            index = 0
+            size = len(pending)
+            try:
+                while index < size:
+                    entry = pending[index]
+                    when = entry[0]
+                    if fresh and fresh[0][0] < when:
+                        # A callback scheduled something earlier than
+                        # the next batch entry: interleave it.  Ties go
+                        # to the batch (its tiebreaks are older).
+                        if deadline is not None and fresh[0][0] > deadline:
+                            return
+                        when, _, event = heappop(fresh)
+                    else:
+                        if deadline is not None and when > deadline:
+                            return
+                        event = entry[2]
+                        index += 1
+                    self._now = when
+                    event._state = _PROCESSED
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for callback in callbacks:
+                            callback(event)
+                    if event is sentinel:
+                        return
+            finally:
+                if index < size:
+                    # Early exit: merge the unconsumed tail back in.
+                    fresh.extend(pending[index:])
+                    heapify(fresh)
+            if deadline is not None and fresh and fresh[0][0] > deadline:
+                return
+            if sentinel is None and deadline is None and not fresh:
+                return
 
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
     def delayed_call(self, delay: float, fn: Callable[[], Any]) -> Timeout:
         """Invoke *fn* after *delay* µs of virtual time."""
-        timeout = self.timeout(delay)
+        timeout = Timeout(self, delay)
         timeout.callbacks.append(lambda _event: fn())
         return timeout

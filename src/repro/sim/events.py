@@ -5,10 +5,19 @@ events by ``yield``-ing them; when the event triggers, the process is
 resumed with the event's value (or the event's exception is thrown into
 it).  This mirrors the SimPy programming model, which keeps protocol code
 (retransmission timers, RPC waits, quorum collection) readable.
+
+Hot path: every message, DMA transfer and HMAC occupancy in the
+repository becomes at least one :class:`Timeout`, so this module is on
+the wall-clock critical path of every reproduced figure.  All event
+classes carry ``__slots__`` and :class:`Timeout` schedules itself
+directly onto the simulator's heap (the *fast lane*), bypassing the
+generic ``succeed``/``_schedule_at`` machinery — without changing when
+anything happens in virtual time.
 """
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -26,6 +35,8 @@ class Event:
     PENDING = "pending"
     TRIGGERED = "triggered"
     PROCESSED = "processed"
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_exception")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -50,12 +61,12 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded (only meaningful once triggered)."""
-        return self.triggered and self._exception is None
+        return self._state != Event.PENDING and self._exception is None
 
     @property
     def value(self) -> Any:
         """The success value; raises if the event failed or is pending."""
-        if not self.triggered:
+        if self._state == Event.PENDING:
             raise RuntimeError("event value read before trigger")
         if self._exception is not None:
             raise self._exception
@@ -66,7 +77,7 @@ class Event:
     # ------------------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with *value*."""
-        if self.triggered:
+        if self._state != Event.PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._state = Event.TRIGGERED
         self._value = value
@@ -75,7 +86,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._state != Event.PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -92,16 +103,34 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed virtual-time delay."""
+    """An event that triggers after a fixed virtual-time delay.
+
+    The constructor is the kernel's scheduling fast lane: a timeout is
+    born already TRIGGERED and pushes itself onto the simulator's heap
+    in one step, skipping ``Event.__init__`` + ``succeed()`` +
+    ``_schedule_at`` for the dominant plain-delay case.  It still draws
+    its tiebreak from the simulator's single counter, so FIFO ordering
+    against every other scheduling path is preserved exactly.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        self.sim = sim
+        self.callbacks = []
         self._state = Event.TRIGGERED
         self._value = value
-        sim._schedule_at(sim.now + delay, self)
+        self._exception = None
+        self.delay = delay
+        # Mirror Simulator._push exactly: heappush only while the loop
+        # is live (the queue is then a heap); bare append while idle.
+        if sim._running:
+            _heappush(sim._queue, (sim._now + delay, next(sim._tiebreak), self))
+        else:
+            sim._queue.append((sim._now + delay, next(sim._tiebreak), self))
+            sim._heaped = False
 
 
 class Interrupt(Exception):
@@ -114,6 +143,8 @@ class Interrupt(Exception):
 
 class _Condition(Event):
     """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -136,6 +167,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers when the first of the given events occurs."""
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
@@ -147,6 +180,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Triggers once every given event has occurred."""
+
+    __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:

@@ -10,9 +10,10 @@ duck-dispatch to an optional hub object attached to the simulator as
 :mod:`repro.telemetry` package and is installed with
 ``Telemetry.attach(sim)``).
 
-Every hook costs a single attribute check when telemetry is off, the
-same contract :func:`repro.sim.trace.emit` honours for tracing.  All
-timestamps come from the simulator's virtual clock, never the wall
+Every hook costs one attribute load and one ``is`` check when telemetry
+is off (``Simulator.__init__`` guarantees the ``telemetry`` attribute),
+the same contract :func:`repro.sim.trace.emit` honours for tracing.
+All timestamps come from the simulator's virtual clock, never the wall
 clock, so instrumented runs stay deterministic (DET001/OBS001).
 """
 
@@ -54,21 +55,21 @@ def hub(sim) -> Any | None:
 
 def count(sim, name: str, value: float = 1, **labels: Any) -> None:
     """Add *value* to counter *name* (no-op without a hub)."""
-    telemetry = getattr(sim, "telemetry", None)
+    telemetry = sim.telemetry
     if telemetry is not None:
         telemetry.count(name, value, **labels)
 
 
 def gauge_set(sim, name: str, value: float, **labels: Any) -> None:
     """Set gauge *name* to *value* (no-op without a hub)."""
-    telemetry = getattr(sim, "telemetry", None)
+    telemetry = sim.telemetry
     if telemetry is not None:
         telemetry.gauge_set(name, value, **labels)
 
 
 def observe(sim, name: str, value: float, **labels: Any) -> None:
     """Record *value* into histogram *name* (no-op without a hub)."""
-    telemetry = getattr(sim, "telemetry", None)
+    telemetry = sim.telemetry
     if telemetry is not None:
         telemetry.observe(name, value, **labels)
 
@@ -80,7 +81,7 @@ def span_begin(sim, name: str, parent: Any = None, **labels: Any):
     attached, else :data:`NULL_SPAN`.  Callers end it with
     ``span.end()``; nesting uses ``span.child(...)``.
     """
-    telemetry = getattr(sim, "telemetry", None)
+    telemetry = sim.telemetry
     if telemetry is None:
         return NULL_SPAN
     if isinstance(parent, NullSpan):
@@ -98,6 +99,6 @@ def flight_trigger(sim, event: str, **context: Any) -> None:
     the keyword context rides along verbatim (``reason=...`` is a
     conventional label within it).
     """
-    telemetry = getattr(sim, "telemetry", None)
+    telemetry = sim.telemetry
     if telemetry is not None:
         telemetry.flight_trigger(event, **context)

@@ -19,6 +19,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Process(Event):
     """A running simulation process; also an event for its completion."""
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any]) -> None:
         super().__init__(sim)
         if not hasattr(generator, "send"):

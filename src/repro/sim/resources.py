@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Resource:
     """A counted resource (semaphore) with FIFO fairness."""
 
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
+
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -68,6 +70,8 @@ class Resource:
 
 class Store:
     """Unbounded FIFO store with blocking retrieval."""
+
+    __slots__ = ("sim", "_items", "_getters")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -122,6 +126,9 @@ class Pipe:
     ``propagation`` later.  This models both network wires and the PCIe
     DMA engine, whose occupancy is what creates queueing under load.
     """
+
+    __slots__ = ("sim", "bandwidth", "propagation", "_busy_until",
+                 "bytes_transferred")
 
     def __init__(
         self,

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One traced event."""
 
@@ -90,7 +90,20 @@ class Tracer:
 
 
 def emit(sim, category: str, message: str, **fields: Any) -> None:
-    """Emit a trace record if *sim* has a tracer attached (else no-op)."""
-    tracer = getattr(sim, "tracer", None)
+    """Emit a trace record if *sim* has a tracer attached (else no-op).
+
+    ``Simulator.__init__`` guarantees the ``tracer`` attribute, so the
+    off path is a plain attribute load and one ``is`` check.  Hot call
+    sites that build an expensive message (``packet.describe()``,
+    f-strings) should additionally guard with ``tracing(sim)`` so the
+    argument construction itself is skipped when tracing is off.
+    """
+    tracer = sim.tracer
     if tracer is not None:
-        tracer.record(sim.now, category, message, **fields)
+        tracer.record(sim._now, category, message, **fields)
+
+
+def tracing(sim) -> bool:
+    """True when a tracer is attached — the call-site gate for emits
+    whose *arguments* are expensive to build."""
+    return sim.tracer is not None

@@ -23,6 +23,7 @@ from repro.core.attestation import AttestedMessage
 from repro.sim.instrument import count, gauge_set, observe
 from repro.sim.latency import SYSTEM_NET_HOP_US
 from repro.sim.resources import Store
+from repro.sim.trace import emit
 from repro.tee.base import AttestationProvider
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -99,6 +100,10 @@ class EmulatedNetwork:
             raise KeyError(f"unknown destination {dst!r}")
         self.messages_sent += 1
         count(self.sim, "system.net_sent")
+        if self.sim.tracer is not None:  # keep the off-path free of the
+            # describe cost: type(...).__name__ only runs when tracing.
+            emit(self.sim, "system.net_send", dst,
+                 kind=type(message).__name__)
         if dst in self._isolated:
             if self._drop_mode:
                 self.dropped_messages += 1
@@ -161,6 +166,9 @@ class BroadcastAuthenticator:
                 ))
                 return
             self.expected_counter += 1
+            if sim.tracer is not None:
+                emit(sim, "system.auth_ok",
+                     f"session={self.session_id} cnt={message.counter}")
             done.succeed(message.payload)
 
         check.callbacks.append(_finish)

@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.clock import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed stage of the datapath; nests through ``child()``."""
 

@@ -6,10 +6,13 @@ from repro.crypto import (
     Certificate,
     CertificateError,
     HmacEngine,
+    VerificationCache,
     generate_keypair,
     hmac_sha256,
     hmac_verify,
+    reset_verification_cache,
     sha256,
+    verification_cache_stats,
 )
 from repro.crypto.certificates import verify_chain
 from repro.crypto.hashing import canonical_bytes
@@ -155,3 +158,69 @@ def test_certificate_chain_broken_link():
     leaf_cert = Certificate.issue("elsewhere", mid, "leaf", leaf.public, {})
     with pytest.raises(CertificateError, match="broken chain"):
         verify_chain([leaf_cert, mid_cert], {"root": root.public})
+
+
+# ----------------------------------------------------------------------
+# Verification cache: wall-clock memoization that can never change a
+# security outcome.
+# ----------------------------------------------------------------------
+def test_verification_cache_hits_on_reverification():
+    reset_verification_cache()
+    mac = hmac_sha256(KEY, b"forwarded", 3)
+    assert hmac_verify(KEY, mac, b"forwarded", 3)
+    before = verification_cache_stats()
+    # A second receiver re-verifying the identical attested message —
+    # the transferable-authentication pattern.
+    assert hmac_verify(KEY, mac, b"forwarded", 3)
+    after = verification_cache_stats()
+    assert after["hits"] == before["hits"] + 1
+    reset_verification_cache()
+
+
+def test_verification_cache_never_stale_for_changed_counter():
+    """The negative test from the issue: a warm cache must not leak a
+    stale 'valid' verdict to a same-payload message whose counter
+    advanced (the equivocation case the counters exist to catch)."""
+    reset_verification_cache()
+    counter = 7
+    mac = hmac_sha256(KEY, b"payload", counter)
+    # Warm the cache with the genuine verification.
+    assert hmac_verify(KEY, mac, b"payload", counter)
+    # Same alpha presented with counter+1 must fail despite the warm
+    # cache: the counter is inside the cached message encoding.
+    assert not hmac_verify(KEY, mac, b"payload", counter + 1)
+    # And both outcomes are themselves deterministic on re-query.
+    assert not hmac_verify(KEY, mac, b"payload", counter + 1)
+    assert hmac_verify(KEY, mac, b"payload", counter)
+    reset_verification_cache()
+
+
+def test_verification_cache_distinguishes_keys():
+    reset_verification_cache()
+    other = b"another-key-of-32-bytes-length!!"
+    mac = hmac_sha256(KEY, b"data")
+    assert hmac_verify(KEY, mac, b"data")
+    assert not hmac_verify(other, mac, b"data")
+    reset_verification_cache()
+
+
+def test_verification_cache_lru_bounded():
+    cache = VerificationCache(capacity=2)
+    cache.store(("k1",), True)
+    cache.store(("k2",), True)
+    assert cache.lookup(("k1",)) is True  # refresh k1
+    cache.store(("k3",), True)  # evicts k2 (least recent)
+    assert cache.lookup(("k2",)) is None
+    assert cache.lookup(("k1",)) is True
+    assert cache.lookup(("k3",)) is True
+    assert len(cache) == 2
+
+
+def test_canonical_memo_distinguishes_bool_from_int():
+    # hash(True) == hash(1) and True == 1, but the canonical encodings
+    # differ — the memo must key on types, not just values.
+    assert canonical_bytes((True,)) != canonical_bytes((1,))
+    assert canonical_bytes((1,)) != canonical_bytes((True,))
+    assert canonical_bytes(((True,),)) != canonical_bytes(((1,),))
+    # And memoized reruns return the identical encoding.
+    assert canonical_bytes((True, "x")) == canonical_bytes((True, "x"))

@@ -247,3 +247,68 @@ def test_store_abandoned_get_would_swallow_without_cancel():
     # The abandoned getter consumed it (documented hazard).
     assert store.try_get() is None
     assert abandoned.value == "item"
+
+
+# ----------------------------------------------------------------------
+# Same-timestamp ordering: every scheduling path draws from one global
+# tiebreak counter, so simultaneous events process in FIFO scheduling
+# order regardless of which primitive enqueued them.
+# ----------------------------------------------------------------------
+def test_same_timestamp_fifo_across_scheduling_paths():
+    sim = Simulator()
+    order = []
+
+    # Interleave the three scheduling paths at the same instant: the
+    # Timeout fast lane, succeed() (_enqueue_triggered) and
+    # delayed_call (Timeout + callback).
+    t1 = sim.timeout(5.0)
+    t1.callbacks.append(lambda _e: order.append("timeout-1"))
+    e1 = sim.event()
+    e1.succeed()
+    e1.callbacks.append(lambda _e: order.append("triggered-1"))
+    sim.delayed_call(5.0, lambda: order.append("delayed-1"))
+    t2 = sim.timeout(5.0)
+    t2.callbacks.append(lambda _e: order.append("timeout-2"))
+    e2 = sim.event()
+    e2.succeed()
+    e2.callbacks.append(lambda _e: order.append("triggered-2"))
+
+    sim.run()
+    # Time 0 first (both triggered events, FIFO), then the 5.0 batch in
+    # exact scheduling order.
+    assert order == [
+        "triggered-1", "triggered-2", "timeout-1", "delayed-1", "timeout-2"
+    ]
+
+
+def test_same_timestamp_fifo_for_events_scheduled_during_run():
+    sim = Simulator()
+    order = []
+
+    def spawner(_event):
+        # Scheduled while the loop is draining: these land in the live
+        # heap, and must still run FIFO among themselves and *after*
+        # already-pending events at the same timestamp.
+        a = sim.timeout(0.0)
+        a.callbacks.append(lambda _e: order.append("fresh-a"))
+        b = sim.timeout(0.0)
+        b.callbacks.append(lambda _e: order.append("fresh-b"))
+
+    first = sim.timeout(1.0)
+    first.callbacks.append(spawner)
+    pending = sim.timeout(1.0)
+    pending.callbacks.append(lambda _e: order.append("pending"))
+    sim.run()
+    assert order == ["pending", "fresh-a", "fresh-b"]
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def nested(_event):
+        with pytest.raises(RuntimeError, match="event loop"):
+            sim.run()
+
+    trigger = sim.timeout(1.0)
+    trigger.callbacks.append(nested)
+    sim.run()

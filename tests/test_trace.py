@@ -55,8 +55,12 @@ def test_tracer_validation():
 
 
 def test_emit_noop_without_tracer():
+    # Simulator.__init__ guarantees the attribute; emit's off path is a
+    # plain attribute load, so a sim-alike needs tracer = None.
     class FakeSim:
         now = 0.0
+        _now = 0.0
+        tracer = None
 
     emit(FakeSim(), "cat", "message")  # must not raise
 
