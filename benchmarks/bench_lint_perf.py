@@ -5,7 +5,9 @@ latency is part of the developer loop; the acceptance budget is a full
 ``python -m repro lint`` pass over ``src/`` in under 10 seconds.  The
 interprocedural taint engine dominates (project fixpoint + a final
 recording pass over every function), so its share is reported
-separately alongside the fixpoint pass count.
+separately alongside the fixpoint pass count; the per-generator
+interference pass (RACE001–RACE003) is timed too, to keep its cost
+honest as the tree grows.
 """
 
 import time
@@ -13,9 +15,11 @@ import time
 from conftest import register_artefact
 
 from repro.analysis import (
+    INTERFERENCE_RULES,
     TNIC_MANIFEST,
     TaintEngine,
     analyze_paths,
+    collect_findings,
     collect_sources,
     default_package_root,
 )
@@ -31,6 +35,10 @@ def test_lint_latency_within_budget(benchmark):
     engine = TaintEngine(sources, TNIC_MANIFEST)
     flows = engine.run()
     taint_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    collect_findings(sources, [cls() for cls in INTERFERENCE_RULES])
+    interference_s = time.perf_counter() - start
 
     start = time.perf_counter()
     findings = analyze_paths()
@@ -50,6 +58,7 @@ def test_lint_latency_within_budget(benchmark):
     table.add_row("fixpoint passes", str(engine.passes_run))
     table.add_row("raw taint flows", str(len(flows)))
     table.add_row("taint engine (s)", f"{taint_s:.2f}")
+    table.add_row("interference pass (s)", f"{interference_s:.2f}")
     table.add_row("full lint (s)", f"{full_s:.2f}")
     table.add_row("budget (s)", f"{LINT_BUDGET_S:.1f}")
     register_artefact(
@@ -60,6 +69,7 @@ def test_lint_latency_within_budget(benchmark):
             "functions": len(engine.functions),
             "fixpoint_passes": engine.passes_run,
             "taint_engine_s": round(taint_s, 3),
+            "interference_pass_s": round(interference_s, 3),
             "full_lint_s": round(full_s, 3),
             "budget_s": LINT_BUDGET_S,
         },

@@ -22,6 +22,11 @@ echo "== stale baseline waivers =="
 python -m repro lint --prune-baseline --dry-run
 
 echo
+echo "== schedule-perturbation harness (python -m repro sanitize) =="
+python -m repro sanitize --seeds 8 \
+    --output benchmarks/results/sanitize_report.json
+
+echo
 echo "== telemetry determinism (two seeded runs must match) =="
 python -m repro metrics --json > /tmp/tnic-metrics-a.json
 python -m repro metrics --json > /tmp/tnic-metrics-b.json

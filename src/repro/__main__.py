@@ -1,8 +1,10 @@
 """``python -m repro`` entry point.
 
 Dispatches to :mod:`repro.cli`; see ``python -m repro --help`` for the
-demo/benchmark commands and ``python -m repro lint`` for the
-static-analysis gate (determinism, trusted boundaries, sim-safety).
+demo/benchmark commands, ``python -m repro lint`` for the
+static-analysis gate (determinism, trusted boundaries, sim-safety,
+taint, interference), and ``python -m repro sanitize`` for the
+schedule-perturbation harness.
 """
 
 import sys

@@ -15,6 +15,8 @@ turns both into mechanically enforced, CI-gated properties:
   (call graph, per-function summaries, fixpoint propagation);
 * :mod:`repro.analysis.taint`       — SEC001–SEC003 key secrecy and
   TNT001–TNT002 verified-ingress rules over the dataflow engine;
+* :mod:`repro.analysis.interference` — RACE001–RACE003 interference
+  lint for simulator processes (the static half of ``repro.sanitizer``);
 * :mod:`repro.analysis.report`      — text/JSON/SARIF rendering, TCB
   accounting.
 
@@ -42,6 +44,12 @@ from repro.analysis.dataflow import (
     TaintFlow,
     TaintManifest,
     analyze_dataflow,
+)
+from repro.analysis.interference import (
+    INTERFERENCE_RULES,
+    ModuleMutableMutationRule,
+    SharedIterationYieldRule,
+    YieldSpanningRmwRule,
 )
 from repro.analysis.report import (
     TcbReport,
@@ -75,8 +83,11 @@ __all__ = [
     "BOUNDARY_MANIFEST",
     "Baseline",
     "Finding",
+    "INTERFERENCE_RULES",
+    "ModuleMutableMutationRule",
     "ProjectRule",
     "Rule",
+    "SharedIterationYieldRule",
     "SinkSpec",
     "SourceFile",
     "SourceSpec",
@@ -87,6 +98,7 @@ __all__ = [
     "TaintManifest",
     "TcbReport",
     "TrustedBoundaryRule",
+    "YieldSpanningRmwRule",
     "analyze_dataflow",
     "analyze_paths",
     "check_boundaries",

@@ -67,13 +67,26 @@ class Finding:
 
 
 class Rule:
-    """A per-file analysis pass."""
+    """A per-file analysis pass.
 
-    rule_id: str = "XXX000"
+    Concrete rules MUST set a real ``rule_id``: the empty default is a
+    registration guard, not a value.  A rule registered without one
+    would ship findings under a bogus id that ``--explain``, waivers and
+    SARIF could never resolve, so instantiation raises instead.
+    """
+
+    rule_id: str = ""
     description: str = ""
     #: Longer rationale shown by ``python -m repro lint --explain RULE``
     #: (falls back to *description* when empty).
     explanation: str = ""
+
+    def __init__(self) -> None:
+        if not self.rule_id:
+            raise TypeError(
+                f"{type(self).__name__} registered without a rule_id; "
+                "every concrete rule must declare one (e.g. 'DET001')"
+            )
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
         raise NotImplementedError
@@ -104,6 +117,7 @@ def default_rules() -> list[Rule]:
     """Every shipped pass, instantiated fresh."""
     from repro.analysis.boundaries import TrustedBoundaryRule
     from repro.analysis.determinism import DETERMINISM_RULES
+    from repro.analysis.interference import INTERFERENCE_RULES
     from repro.analysis.observability import OBSERVABILITY_RULES
     from repro.analysis.sim_safety import SIM_SAFETY_RULES
     from repro.analysis.taint import TAINT_RULES
@@ -113,6 +127,7 @@ def default_rules() -> list[Rule]:
     rules.extend(cls() for cls in OBSERVABILITY_RULES)
     rules.append(TrustedBoundaryRule())
     rules.extend(cls() for cls in TAINT_RULES)
+    rules.extend(cls() for cls in INTERFERENCE_RULES)
     return rules
 
 

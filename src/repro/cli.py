@@ -10,8 +10,10 @@ capabilities without writing code:
 * ``attack``     — run the adversary campaigns and report the outcome.
 * ``resources``  — the Table-5 / Figure-13 FPGA resource analysis.
 * ``lint``       — the static-analysis passes (determinism, trusted
-  boundaries, sim-safety, key-secrecy/ingress taint) plus the
-  measured-TCB accounting report.
+  boundaries, sim-safety, key-secrecy/ingress taint, interference/RACE)
+  plus the measured-TCB accounting report.
+* ``sanitize``   — the schedule-perturbation harness: tier-1 protocol
+  scenarios under N seeded tie shuffles; final-state digests must match.
 * ``metrics``    — run a seeded cluster workload with telemetry on and
   print the metrics document (text, ``--json`` or ``--prom``).
 * ``trace``      — the same workload's trace buffer, filterable with
@@ -287,6 +289,37 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    """Exit codes: 0 schedule-independent, 1 divergence found, 2 usage."""
+    import json
+    from pathlib import Path
+
+    from repro.sanitizer import run_sanitize
+
+    try:
+        report = run_sanitize(
+            scenario_names=args.scenarios or None,
+            seeds=args.seeds,
+            root_seed=args.root_seed,
+        )
+    except ValueError as exc:
+        print(f"sanitize: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"sanitize: report written to {path}")
+    return 0 if report.ok else 1
+
+
 def _instrumented_workload(ops: int, seed: int, tamper: bool):
     """Run a deterministic two-node send/recv workload with telemetry.
 
@@ -382,7 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="static analysis: determinism, trusted boundaries, "
-             "sim-safety, key-secrecy/ingress taint",
+             "sim-safety, key-secrecy/ingress taint, interference/RACE",
     )
     lint.add_argument(
         "paths", nargs="*",
@@ -420,6 +453,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--tcb-report", action="store_true",
         help="also emit the measured-TCB LoC artifact under "
              "benchmarks/results/",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="schedule-perturbation harness: tier-1 scenarios under N "
+             "seeded tie shuffles; final-state digests must match",
+    )
+    sanitize.add_argument(
+        "--seeds", type=int, default=8, metavar="N",
+        help="perturbed schedules per scenario (default 8)",
+    )
+    sanitize.add_argument(
+        "--root-seed", type=int, default=0,
+        help="root seed all perturbation seeds derive from (default 0)",
+    )
+    sanitize.add_argument(
+        "--scenario", action="append", dest="scenarios", metavar="NAME",
+        choices=["bft", "chain", "a2m"],
+        help="run only this scenario (repeatable; default: all)",
+    )
+    sanitize.add_argument("--json", action="store_true",
+                          help="emit the full JSON report")
+    sanitize.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="additionally write the JSON report to FILE",
     )
 
     metrics = sub.add_parser(
@@ -461,6 +519,7 @@ _HANDLERS = {
     "attack": _cmd_attack,
     "resources": _cmd_resources,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
 }

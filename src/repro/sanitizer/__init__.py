@@ -1,0 +1,42 @@
+"""Dynamic interference sanitizer for the simulated systems.
+
+Three cooperating pieces (the run-time half of the interference
+tooling; the static half is :mod:`repro.analysis.interference`):
+
+* :mod:`repro.sanitizer.hb` — a vector-clock happens-before tracker
+  that attaches to a simulator (``Sanitizer.attach(sim)``) and reports
+  conflicting shared-state accesses with no happens-before path;
+* :mod:`repro.sanitizer.tracked` — :class:`SharedState`, the tracked
+  container protocol code uses to make its shared fields visible;
+* :mod:`repro.sanitizer.perturb` — the schedule-perturbation harness
+  behind ``python -m repro sanitize``: tier-1 scenarios under N seeded
+  tie shuffles, diffing final-state digests.
+
+This package is untrusted host tooling: ``repro.sim`` never imports it
+(BND001); the hooks dispatch through the ``sim.sanitizer`` attribute,
+costing one attribute load and one ``is`` check when detached.
+"""
+
+from repro.sanitizer.hb import Access, RaceFinding, Sanitizer
+from repro.sanitizer.perturb import (
+    DEFAULT_SEEDS,
+    SCENARIOS,
+    SanitizeReport,
+    ScenarioResult,
+    derive_seed,
+    run_sanitize,
+)
+from repro.sanitizer.tracked import SharedState
+
+__all__ = [
+    "Access",
+    "DEFAULT_SEEDS",
+    "RaceFinding",
+    "SCENARIOS",
+    "Sanitizer",
+    "SanitizeReport",
+    "ScenarioResult",
+    "SharedState",
+    "derive_seed",
+    "run_sanitize",
+]

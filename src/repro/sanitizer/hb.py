@@ -1,0 +1,273 @@
+"""Happens-before race detection for simulator processes.
+
+The dynamic half of the interference sanitizer (the static half is
+``repro.analysis.interference``).  A :class:`Sanitizer` attaches to a
+:class:`~repro.sim.clock.Simulator` as ``sim.sanitizer`` and receives:
+
+* ``process_created`` / ``process_resumed`` / ``process_suspended``
+  from :class:`~repro.sim.process.Process` — which process is running,
+  and the spawn/wake edges between them;
+* ``event_triggered`` from :meth:`~repro.sim.events.Event.succeed` /
+  ``fail`` — the causality edges: whoever resumes on a triggered event
+  happens-after everything its triggering context had done;
+* ``note_read`` / ``note_write`` from
+  :mod:`repro.sim.instrument` — the shared-state accesses themselves.
+
+Ordering is vector clocks over those *event-causality* edges (spawn,
+event trigger → resume, resource/store wake chains — which all funnel
+through ``Event.succeed``), never wall time and never queue position:
+two accesses at the same virtual time are still ordered if a trigger
+chain connects them, and two accesses minutes of virtual time apart are
+still *racy* if none does.  The algorithm is the FastTrack/TSan epoch
+scheme adapted to cooperative scheduling: each process is a "thread",
+its clock advances when it triggers an event (a "release"), and a
+resume joins the waking event's snapshot (an "acquire").  A conflicting
+access pair — same (object, field), at least one write — with
+vector-clock-incomparable epochs has no happens-before path and is
+reported as a race.
+
+Known approximation: a :class:`~repro.sim.events.Timeout` is born
+triggered and never passes through ``succeed``, so handing a timeout
+*object* to another process is not a tracked edge (yielding your own
+timeout is plain program order and needs no edge).  Callback code that
+runs outside any process shares one "main" context.
+
+Everything here is reached only through the ``sim.sanitizer`` attribute
+gates, so a detached simulator pays one attribute load and one ``is``
+check per hook — the PR 4 zero-cost-when-detached contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import Simulator
+    from repro.sim.events import Event
+    from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class Access:
+    """One side of a race: who touched the field, and when."""
+
+    process: str
+    time_us: float
+
+    def render(self) -> str:
+        return f"{self.process} at {self.time_us:.2f}us"
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """A conflicting access pair with no happens-before path."""
+
+    var: str
+    field: str
+    kind: str  # "write-write" | "read-write" | "write-read"
+    first: Access
+    second: Access
+
+    def render(self) -> str:
+        return (
+            f"{self.kind} race on {self.var}.{self.field}: "
+            f"{self.first.render()} vs {self.second.render()} "
+            "(no happens-before path)"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "var": self.var,
+            "field": self.field,
+            "kind": self.kind,
+            "first": {"process": self.first.process,
+                      "time_us": self.first.time_us},
+            "second": {"process": self.second.process,
+                       "time_us": self.second.time_us},
+        }
+
+
+class _Context:
+    """One logical thread: a process, or the shared main context."""
+
+    __slots__ = ("pid", "label", "vc")
+
+    def __init__(self, pid: int, label: str, vc: dict[int, int]) -> None:
+        self.pid = pid
+        self.label = label
+        self.vc = vc  # pid -> clock; own component present from birth
+
+
+class _Shadow:
+    """FastTrack-style shadow word for one (object, field)."""
+
+    __slots__ = ("write", "reads")
+
+    def __init__(self) -> None:
+        #: Last write as (pid, clock, Access), or None.
+        self.write: tuple[int, int, Access] | None = None
+        #: Last read per pid as (clock, Access).
+        self.reads: dict[int, tuple[int, Access]] = {}
+
+
+class Sanitizer:
+    """Happens-before tracker; attach with :meth:`attach`, then run."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.findings: list[RaceFinding] = []
+        self._main = _Context(0, "main", {0: 1})
+        self._current: _Context | None = None
+        self._contexts: dict["Process", _Context] = {}
+        self._next_pid = 1
+        #: Creation-time vector-clock snapshot, joined at first resume.
+        self._spawn_vc: dict["Process", dict[int, int]] = {}
+        #: Trigger-time snapshot per event (the "release" message).
+        self._event_vc: dict["Event", dict[int, int]] = {}
+        self._shadows: dict[tuple[int, str], _Shadow] = {}
+        #: Object labels, assigned in first-seen order so reports are
+        #: deterministic; the ref list keeps ids from being recycled.
+        self._labels: dict[int, str] = {}
+        self._label_refs: list[Any] = []
+        self._label_counts: dict[str, int] = {}
+        self._reported: set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, sim: "Simulator") -> "Sanitizer":
+        """Create a sanitizer and install it as ``sim.sanitizer``."""
+        sanitizer = cls(sim)
+        sim.sanitizer = sanitizer
+        return sanitizer
+
+    def detach(self) -> None:
+        """Detach from the simulator (hooks become no-ops again)."""
+        if self.sim.sanitizer is self:
+            self.sim.sanitizer = None
+
+    # ------------------------------------------------------------------
+    # Hooks called by repro.sim (gated on `sim.sanitizer is not None`)
+    # ------------------------------------------------------------------
+    def process_created(self, process: "Process") -> None:
+        creator = self._current or self._main
+        self._spawn_vc[process] = dict(creator.vc)
+        creator.vc[creator.pid] += 1  # spawn is a release point
+        pid = self._next_pid
+        self._next_pid = pid + 1
+        label = getattr(process._generator, "__name__", "process")
+        n = self._label_counts.get(label, 0)
+        self._label_counts[label] = n + 1
+        if n:
+            label = f"{label}#{n + 1}"
+        self._contexts[process] = _Context(pid, label, {pid: 1})
+
+    def process_resumed(self, process: "Process", event: "Event") -> None:
+        context = self._contexts.get(process)
+        if context is None:
+            # Created before the sanitizer attached: adopt it now.
+            pid = self._next_pid
+            self._next_pid = pid + 1
+            context = _Context(pid, f"process#{pid}", {pid: 1})
+            self._contexts[process] = context
+        spawn = self._spawn_vc.pop(process, None)
+        if spawn is not None:
+            _join(context.vc, spawn)
+        stamp = self._event_vc.get(event)
+        if stamp is not None:
+            _join(context.vc, stamp)
+        self._current = context
+
+    def process_suspended(self, process: "Process") -> None:
+        self._current = None
+
+    def event_triggered(self, event: "Event") -> None:
+        context = self._current or self._main
+        self._event_vc[event] = dict(context.vc)
+        context.vc[context.pid] += 1
+
+    # ------------------------------------------------------------------
+    # Access recording (via repro.sim.instrument.note_read/note_write)
+    # ------------------------------------------------------------------
+    def note_read(self, obj: Any, field: str) -> None:
+        context = self._current or self._main
+        shadow = self._shadow(obj, field)
+        access = Access(context.label, self.sim._now)
+        write = shadow.write
+        if write is not None:
+            w_pid, w_clock, w_access = write
+            if w_pid != context.pid and w_clock > context.vc.get(w_pid, 0):
+                self._report(obj, field, "write-read", w_access, access)
+        shadow.reads[context.pid] = (context.vc[context.pid], access)
+
+    def note_write(self, obj: Any, field: str) -> None:
+        context = self._current or self._main
+        shadow = self._shadow(obj, field)
+        access = Access(context.label, self.sim._now)
+        write = shadow.write
+        if write is not None:
+            w_pid, w_clock, w_access = write
+            if w_pid != context.pid and w_clock > context.vc.get(w_pid, 0):
+                self._report(obj, field, "write-write", w_access, access)
+        for r_pid, (r_clock, r_access) in sorted(shadow.reads.items()):
+            if r_pid != context.pid and r_clock > context.vc.get(r_pid, 0):
+                self._report(obj, field, "read-write", r_access, access)
+        shadow.write = (context.pid, context.vc[context.pid], access)
+        shadow.reads.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable report, one line per distinct race."""
+        if not self.findings:
+            return "sanitizer: no races detected"
+        lines = [f"sanitizer: {len(self.findings)} race(s) detected"]
+        lines.extend(f"  {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "races": [finding.to_json() for finding in self.findings],
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _shadow(self, obj: Any, field: str) -> _Shadow:
+        key = (id(obj), field)
+        shadow = self._shadows.get(key)
+        if shadow is None:
+            shadow = self._shadows[key] = _Shadow()
+            # Pin the object so its id is never recycled into another
+            # object's shadow (scenarios are short; memory is bounded).
+            self._label_refs.append(obj)
+        return shadow
+
+    def _label(self, obj: Any) -> str:
+        label = self._labels.get(id(obj))
+        if label is None:
+            explicit = getattr(obj, "_san_label", None)
+            label = explicit or f"{type(obj).__name__}#{len(self._labels)}"
+            self._labels[id(obj)] = label
+            self._label_refs.append(obj)
+        return label
+
+    def _report(
+        self, obj: Any, field: str, kind: str, first: Access, second: Access,
+    ) -> None:
+        var = self._label(obj)
+        key = (var, field, kind, first.process, second.process)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.findings.append(RaceFinding(var, field, kind, first, second))
+
+
+def _join(vc: dict[int, int], other: dict[int, int]) -> None:
+    """In-place component-wise max."""
+    for pid, clock in other.items():
+        if clock > vc.get(pid, 0):
+            vc[pid] = clock

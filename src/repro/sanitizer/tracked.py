@@ -1,0 +1,63 @@
+"""Sanitizer-visible shared state for simulator processes.
+
+:class:`SharedState` is a named bag of fields whose reads and writes
+flow through :func:`repro.sim.instrument.note_read` /
+:func:`~repro.sim.instrument.note_write`, so a
+:class:`~repro.sanitizer.hb.Sanitizer` attached to the simulator sees
+every access with its happens-before context.  With no sanitizer
+attached each access costs one attribute load and one ``is`` check on
+top of the dict operation — cheap enough to leave in protocol code.
+
+The explicit ``get``/``set`` surface (rather than attribute magic) keeps
+access points visible in the source, which is also what the static
+RACE002 pass keys on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.sim.instrument import note_read, note_write
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import Simulator
+
+
+class SharedState:
+    """Named fields shared between processes, with tracked access."""
+
+    __slots__ = ("_sim", "_san_label", "_values")
+
+    def __init__(self, sim: "Simulator", label: str, **fields: Any) -> None:
+        self._sim = sim
+        #: Picked up by ``Sanitizer._label`` so reports name the state
+        #: by its declared label instead of a type#index placeholder.
+        self._san_label = label
+        self._values: dict[str, Any] = {}
+        for field, value in fields.items():
+            self.set(field, value)
+
+    @property
+    def label(self) -> str:
+        return self._san_label
+
+    def get(self, field: str) -> Any:
+        """Read *field* (recorded as a read access)."""
+        note_read(self._sim, self, field)
+        return self._values[field]
+
+    def set(self, field: str, value: Any) -> None:
+        """Write *field* (recorded as a write access)."""
+        note_write(self._sim, self, field)
+        self._values[field] = value
+
+    def fields(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Untracked copy of every field — for assertions and digests
+        *after* the run, not for use inside processes."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SharedState {self._san_label} {self._values!r}>"

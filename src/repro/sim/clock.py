@@ -38,6 +38,7 @@ from typing import Any, Callable, Generator, Iterable
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.rng import DeterministicRng
 
 _PROCESSED = Event.PROCESSED
 _TRIGGERED = Event.TRIGGERED
@@ -46,6 +47,21 @@ _new_timeout = Timeout.__new__
 
 class EmptySchedule(Exception):
     """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+def _perturbed_ties(seed: int):
+    """Tiebreak generator for :meth:`Simulator.perturb_ties`.
+
+    Yields ``(random_20bit << 44) | n``: the random high bits shuffle
+    same-timestamp order, the monotonic low bits keep every key unique
+    (and resolve the rare high-bit collision back to FIFO).  Keys stay
+    well under 2**63, so tuple comparison against counter keys is cheap.
+    """
+    bits = DeterministicRng(seed, "tiebreak-perturbation").getrandbits
+    n = 0
+    while True:
+        yield (bits(20) << 44) | n
+        n += 1
 
 
 class Simulator:
@@ -66,6 +82,10 @@ class Simulator:
         #: Optional telemetry hub (see :mod:`repro.telemetry`); the
         #: hooks in :mod:`repro.sim.instrument` dispatch through it.
         self.telemetry = None
+        #: Optional happens-before sanitizer (see :mod:`repro.sanitizer`);
+        #: the Process/Event hooks and ``instrument.note_read/note_write``
+        #: dispatch through it, same zero-cost-when-detached contract.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -121,6 +141,36 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Composite event triggering once all *events* triggered."""
         return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Schedule perturbation (used by `python -m repro sanitize`)
+    # ------------------------------------------------------------------
+    def perturb_ties(self, seed: int | None) -> None:
+        """Perturb tie-breaking among same-timestamp events.
+
+        FIFO order among same-timestamp events is a *policy*, not a
+        semantic guarantee: correct protocol code must produce the same
+        final state under any tie order.  This seam swaps the monotonic
+        ``_tiebreak`` counter for a seeded generator whose values are
+        random in their high bits and monotonic in their low bits —
+        same-timestamp events therefore process in a seed-determined
+        shuffle (unique keys, reproducible run-to-run), while
+        cross-timestamp order is untouched.  Entries already queued are
+        re-keyed so construction-time ties are perturbed too.
+
+        ``perturb_ties(None)`` restores exact FIFO.  The default path is
+        untouched: no extra work, and golden traces stay byte-identical.
+        """
+        if self._running:
+            raise RuntimeError("cannot perturb ties while the loop is running")
+        self._tiebreak = count() if seed is None else _perturbed_ties(seed)
+        if self._queue:
+            entries = sorted(self._queue)  # re-key in current FIFO order
+            self._queue = [
+                (when, next(self._tiebreak), event)
+                for when, _, event in entries
+            ]
+            self._heaped = False
 
     # ------------------------------------------------------------------
     # Scheduling internals (used by Event/Timeout)

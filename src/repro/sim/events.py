@@ -81,7 +81,13 @@ class Event:
             raise RuntimeError(f"{self!r} already triggered")
         self._state = Event.TRIGGERED
         self._value = value
-        self.sim._enqueue_triggered(self)
+        sim = self.sim
+        sanitizer = sim.sanitizer
+        if sanitizer is not None:
+            # A trigger is a causality edge: whoever resumes on this
+            # event happens-after everything the triggering context did.
+            sanitizer.event_triggered(self)
+        sim._enqueue_triggered(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -92,7 +98,11 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._state = Event.TRIGGERED
         self._exception = exception
-        self.sim._enqueue_triggered(self)
+        sim = self.sim
+        sanitizer = sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.event_triggered(self)
+        sim._enqueue_triggered(self)
         return self
 
     def _mark_processed(self) -> None:

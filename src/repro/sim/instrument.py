@@ -89,6 +89,29 @@ def span_begin(sim, name: str, parent: Any = None, **labels: Any):
     return telemetry.span_begin(name, parent=parent, **labels)
 
 
+def note_read(sim, obj: Any, field: str) -> None:
+    """Record a read of ``obj.field`` with the happens-before sanitizer.
+
+    Dispatches to the hub attached as ``sim.sanitizer`` (installed with
+    ``repro.sanitizer.Sanitizer.attach(sim)``), mirroring how the
+    telemetry hooks above dispatch to ``sim.telemetry`` — this module
+    stays dependency-free so trusted code may call it without crossing
+    the BND001 boundary.  No-op (one attribute load, one ``is`` check)
+    when no sanitizer is attached.
+    """
+    sanitizer = sim.sanitizer
+    if sanitizer is not None:
+        sanitizer.note_read(obj, field)
+
+
+def note_write(sim, obj: Any, field: str) -> None:
+    """Record a write of ``obj.field`` with the happens-before sanitizer
+    (see :func:`note_read`)."""
+    sanitizer = sim.sanitizer
+    if sanitizer is not None:
+        sanitizer.note_write(obj, field)
+
+
 def flight_trigger(sim, event: str, **context: Any) -> None:
     """Snapshot the flight recorder (no-op without a hub).
 

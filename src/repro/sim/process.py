@@ -35,6 +35,9 @@ class Process(Event):
         bootstrap = sim.timeout(0.0)
         bootstrap.callbacks.append(self._resume)
         self._target = bootstrap
+        sanitizer = sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.process_created(self)
 
     @property
     def is_alive(self) -> bool:
@@ -58,36 +61,48 @@ class Process(Event):
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
         self._target = None
+        # Sanitizer bracketing: the generator's next segment runs between
+        # these two calls, so shared-state accesses inside it are
+        # attributed to this process and joined with the waking event's
+        # vector clock.  One attribute load + `is` check when detached
+        # (try/finally is zero-cost on the no-exception path in 3.11+).
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.process_resumed(self, event)
         try:
-            if event._exception is not None:
-                next_event = self._generator.throw(event._exception)
+            try:
+                if event._exception is not None:
+                    next_event = self._generator.throw(event._exception)
+                else:
+                    next_event = self._generator.send(event._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt as exc:
+                # An unhandled interrupt terminates the process with failure.
+                self.fail(exc)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+            if not isinstance(next_event, Event):
+                error = TypeError(
+                    f"process yielded {type(next_event).__name__}, expected an Event"
+                )
+                self._generator.close()
+                self.fail(error)
+                return
+            if next_event.processed:
+                # Already done: resume on the next loop iteration with its value.
+                immediate = self.sim.timeout(0.0, next_event._value)
+                if next_event._exception is not None:
+                    immediate = self.sim.event()
+                    immediate.fail(next_event._exception)
+                immediate.callbacks.append(self._resume)
+                self._target = immediate
             else:
-                next_event = self._generator.send(event._value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except Interrupt as exc:
-            # An unhandled interrupt terminates the process with failure.
-            self.fail(exc)
-            return
-        except BaseException as exc:
-            self.fail(exc)
-            return
-        if not isinstance(next_event, Event):
-            error = TypeError(
-                f"process yielded {type(next_event).__name__}, expected an Event"
-            )
-            self._generator.close()
-            self.fail(error)
-            return
-        if next_event.processed:
-            # Already done: resume on the next loop iteration with its value.
-            immediate = self.sim.timeout(0.0, next_event._value)
-            if next_event._exception is not None:
-                immediate = self.sim.event()
-                immediate.fail(next_event._exception)
-            immediate.callbacks.append(self._resume)
-            self._target = immediate
-        else:
-            next_event.callbacks.append(self._resume)
-            self._target = next_event
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+        finally:
+            if sanitizer is not None:
+                sanitizer.process_suspended(self)

@@ -150,8 +150,11 @@ class TnicCommunicationModel:
 
     def _rule_inject(self, state: CommState) -> Iterator[tuple[str, CommState]]:
         """The adversary crafts messages with keys it knows."""
-        for key in self.adversary_keys:
-            for payload in self.adversary_payloads:
+        # Not a simulator process: rule generators yield (label, state)
+        # pairs to the state-space explorer, and the adversary term sets
+        # are immutable tuples fixed at construction.
+        for key in self.adversary_keys:  # lint: ignore[RACE003] model-checker rule, immutable tuple
+            for payload in self.adversary_payloads:  # lint: ignore[RACE003] immutable tuple
                 counter = state.recv_cnt  # best possible guess
                 message = AttestedMsg(
                     payload=payload,
@@ -169,7 +172,9 @@ class TnicCommunicationModel:
         check compares whole terms, so splicing can never verify — but
         the rule must exist so the checker explores the attempt."""
         for message in state.observed:
-            for payload in self.adversary_payloads:
+            # Same shape as _rule_inject: a model-checker rule generator,
+            # not a sim process, iterating an immutable tuple.
+            for payload in self.adversary_payloads:  # lint: ignore[RACE003] immutable tuple
                 spliced = AttestedMsg(
                     payload=payload,
                     counter=state.recv_cnt,

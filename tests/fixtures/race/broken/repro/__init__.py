@@ -1,0 +1,1 @@
+"""Seeded RACE violations — every module here must be flagged."""

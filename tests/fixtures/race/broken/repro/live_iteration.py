@@ -1,0 +1,28 @@
+"""Seeded RACE003 violations: yield while iterating shared containers."""
+
+PENDING = []
+
+
+class Broadcaster:
+    """Fans a message out with a yield inside each live loop."""
+
+    def __init__(self, sim, peers):
+        self.sim = sim
+        self.peers = peers
+        self.inbox = {}
+
+    def broadcast(self, message):
+        for offset, peer in enumerate(self.peers):
+            yield self.sim.timeout(offset)
+            peer.deliver(message)
+
+    def drain(self):
+        for name, queue in self.inbox.items():
+            yield self.sim.timeout(1)
+            queue.clear()
+
+
+def flusher(sim):
+    for item in PENDING:
+        yield sim.timeout(1)
+        item.flush()

@@ -1,0 +1,19 @@
+"""Seeded RACE001 violations: module-level mutable state mutated
+from inside simulator processes."""
+
+LEDGER = []
+INDEX: dict = {}
+TOTAL = 0
+
+
+def recorder(sim, payload):
+    """Appends to the interpreter-wide ledger from a process."""
+    yield sim.timeout(1)
+    LEDGER.append(payload)
+    INDEX[payload] = len(LEDGER)
+
+
+def accumulator(sim, amount):
+    global TOTAL
+    yield sim.timeout(1)
+    TOTAL += amount

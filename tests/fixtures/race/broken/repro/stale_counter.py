@@ -1,0 +1,21 @@
+"""Seeded RACE002 violations: read-modify-write spanning a yield."""
+
+
+class StaleCounter:
+    """Replica whose updates lose concurrent writes."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.value = 0
+        self.table = {}
+
+    def bump(self, amount):
+        current = self.value
+        yield self.sim.timeout(5)
+        self.value = current + amount
+
+    def merge(self, updates):
+        merged = dict(self.table)
+        merged.update(updates)
+        yield self.sim.timeout(2)
+        self.table.update(merged)

@@ -1,0 +1,1 @@
+"""RACE-adjacent but safe patterns — nothing here may be flagged."""

@@ -1,0 +1,22 @@
+"""RACE002-adjacent negatives: shared state re-read after the yield,
+and append-only accumulation (mutator receivers are not value reads)."""
+
+
+class FreshCounter:
+    """Replica whose updates stay atomic across suspensions."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.value = 0
+        self.log = []
+
+    def bump(self, amount):
+        """The read happens after resuming, so it cannot go stale."""
+        yield self.sim.timeout(5)
+        self.value = self.value + amount
+
+    def append_only(self):
+        """Two appends spanning a yield are not a lost update."""
+        self.log.append("start")
+        yield self.sim.timeout(1)
+        self.log.append("end")

@@ -1,0 +1,26 @@
+"""RACE001-adjacent negatives: module mutables read but never
+mutated from a process, and mutation from non-process code."""
+
+CONFIG = {"timeout": 5}
+REGISTRY = []
+
+
+def register(name):
+    """Not a process (no yield): module mutation here is setup code."""
+    REGISTRY.append(name)
+
+
+def reader(sim):
+    """A process may *read* module-level configuration freely."""
+    delay = CONFIG["timeout"]
+    yield sim.timeout(delay)
+    return delay
+
+
+def local_buffering(sim, payloads):
+    """Mutables bound inside the process are private to it."""
+    buffered = []
+    for payload in payloads:
+        yield sim.timeout(1)
+        buffered.append(payload)
+    return buffered

@@ -1,0 +1,37 @@
+"""RACE003-adjacent negatives: snapshot before iterating, private
+iterables, and yield-free loops over shared containers."""
+
+PENDING = []
+
+
+class SnapshotBroadcaster:
+    """Fans out over copies, never over the live container."""
+
+    def __init__(self, sim, peers):
+        self.sim = sim
+        self.peers = peers
+        self.inbox = {}
+
+    def broadcast(self, message):
+        for peer in list(self.peers):
+            yield self.sim.timeout(1)
+            peer.deliver(message)
+
+    def drain(self):
+        for name, queue in sorted(self.inbox.items()):
+            yield self.sim.timeout(1)
+            queue.clear()
+
+    def tally(self):
+        """No yield inside the loop: the iteration is atomic."""
+        total = 0
+        for queue in self.inbox.values():
+            total += len(queue)
+        yield self.sim.timeout(total)
+
+
+def flusher(sim, batch):
+    """The iterable is a parameter, private to this activation."""
+    for item in batch:
+        yield sim.timeout(1)
+        item.flush()

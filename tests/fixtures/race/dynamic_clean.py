@@ -1,0 +1,34 @@
+"""Executable clean fixture: the same increment, lock-serialised.
+
+Identical read-yield-write shape as ``dynamic_racy``, but the whole
+read-modify-write region holds a capacity-1
+:class:`~repro.sim.resources.Resource`.  The release→acquire handoff is
+an ``Event.succeed`` edge, so every critical section happens-before the
+next: an attached sanitizer must stay silent and the final total must
+be exactly ``2 * rounds``.
+"""
+
+from repro.sanitizer import SharedState
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+
+
+def incrementer(sim, lock, state, rounds):
+    for _ in range(rounds):
+        yield lock.acquire()
+        current = state.get("total")
+        yield sim.timeout(10)
+        state.set("total", current + 1)
+        lock.release()
+
+
+def run(sim=None, rounds=5):
+    """Run the serialised pair to completion; returns (sim, state)."""
+    if sim is None:
+        sim = Simulator()
+    lock = Resource(sim, capacity=1)
+    state = SharedState(sim, "counter", total=0)
+    sim.process(incrementer(sim, lock, state, rounds))
+    sim.process(incrementer(sim, lock, state, rounds))
+    sim.run()
+    return sim, state

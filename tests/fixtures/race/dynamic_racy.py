@@ -1,0 +1,34 @@
+"""Executable racy fixture: two incrementers losing updates.
+
+Each process reads the shared counter, yields (losing control at the
+suspension), then writes back ``read + 1``.  Interleaved, both read the
+same value and one update is lost — the classic lost-update race the
+static RACE002 rule describes, here actually happening.  An attached
+:class:`~repro.sanitizer.hb.Sanitizer` must report the conflicting
+access pairs, and the final total must be less than ``2 * rounds``.
+"""
+
+from repro.sanitizer import SharedState
+from repro.sim import Simulator
+
+
+def incrementer(sim, state, rounds):
+    for _ in range(rounds):
+        current = state.get("total")
+        yield sim.timeout(10)
+        state.set("total", current + 1)
+
+
+def run(sim=None, rounds=5):
+    """Run the racy pair to completion; returns (sim, state).
+
+    Pass a simulator with a sanitizer already attached to observe the
+    races; the fixture itself never attaches one.
+    """
+    if sim is None:
+        sim = Simulator()
+    state = SharedState(sim, "counter", total=0)
+    sim.process(incrementer(sim, state, rounds))
+    sim.process(incrementer(sim, state, rounds))
+    sim.run()
+    return sim, state

@@ -1,0 +1,301 @@
+"""The interference sanitizer: RACE lint, happens-before, perturbation.
+
+Three layers under test, mirroring the corpus under
+``tests/fixtures/race/``:
+
+* the static RACE001–RACE003 rules — every seeded violation in
+  ``broken/`` must be reported at exactly its line, and nothing in
+  ``clean/`` may be flagged;
+* the dynamic happens-before sanitizer — the executable
+  ``dynamic_racy`` fixture must produce findings (and a visible lost
+  update), the lock-serialised ``dynamic_clean`` twin must not, and the
+  hooks must cost nothing while ``sim.sanitizer`` is ``None``;
+* the schedule-perturbation harness — the same seed must reproduce the
+  same schedule byte-for-byte, the default FIFO tie-break must be
+  untouched (the golden traces depend on it), and the tier-1 scenarios
+  must digest-stable across eight perturbed schedules.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.interference import INTERFERENCE_RULES
+from repro.analysis.rules import (
+    Rule,
+    collect_findings,
+    rule_catalog,
+)
+from repro.sanitizer import Sanitizer, derive_seed, run_sanitize
+from repro.sanitizer.perturb import SCENARIOS
+from repro.sim import Simulator
+from repro.sim.instrument import note_read, note_write
+from repro.analysis.walker import collect_sources
+
+FIXTURES = Path(__file__).parent / "fixtures" / "race"
+
+
+# ----------------------------------------------------------------------
+# Static corpus: no false negatives on broken/, no positives on clean/
+# ----------------------------------------------------------------------
+
+def _corpus_findings(corpus: str):
+    sources = collect_sources([FIXTURES / corpus])
+    return collect_findings(sources, [cls() for cls in INTERFERENCE_RULES])
+
+
+def test_broken_corpus_every_rule_fires():
+    fired = {f.rule for f in _corpus_findings("broken")}
+    assert fired == {"RACE001", "RACE002", "RACE003"}
+
+
+def test_broken_corpus_detects_exactly_the_seeded_violations():
+    expected = {
+        ("RACE001", "repro.shared_ledger", 12),   # LEDGER.append
+        ("RACE001", "repro.shared_ledger", 13),   # INDEX[...] = ...
+        ("RACE001", "repro.shared_ledger", 19),   # global TOTAL +=
+        ("RACE002", "repro.stale_counter", 15),   # self.value clobber
+        ("RACE002", "repro.stale_counter", 21),   # self.table.update
+        ("RACE003", "repro.live_iteration", 15),  # enumerate(self.peers)
+        ("RACE003", "repro.live_iteration", 20),  # self.inbox.items()
+        ("RACE003", "repro.live_iteration", 26),  # module-level PENDING
+    }
+    got = {(f.rule, f.module, f.line) for f in _corpus_findings("broken")}
+    assert got == expected, (
+        f"missed: {expected - got}; spurious: {got - expected}"
+    )
+
+
+def test_race002_message_names_the_read_and_yield_lines():
+    finding = next(f for f in _corpus_findings("broken")
+                   if f.rule == "RACE002" and f.line == 15)
+    assert "read at line 13" in finding.message
+    assert "yield at line 14" in finding.message
+
+
+def test_clean_corpus_is_silent():
+    assert _corpus_findings("clean") == []
+
+
+def test_real_tree_has_no_unwaived_race_findings():
+    from repro.analysis import analyze_paths
+
+    flagged = [f for f in analyze_paths() if f.rule.startswith("RACE")]
+    assert flagged == [], [f"{f.module}:{f.line} {f.rule}" for f in flagged]
+
+
+def test_rule_catalog_lists_the_interference_pass():
+    catalog = rule_catalog()
+    assert {"RACE001", "RACE002", "RACE003"} <= set(catalog)
+
+
+# ----------------------------------------------------------------------
+# Satellite: rules must declare their id at registration time
+# ----------------------------------------------------------------------
+
+def test_rule_without_rule_id_raises_at_registration():
+    class Incomplete(Rule):
+        description = "forgot the id"
+
+        def check(self, src):
+            return iter(())
+
+    with pytest.raises(TypeError, match="rule_id"):
+        Incomplete()
+
+
+def test_rule_with_rule_id_registers_fine():
+    class Complete(Rule):
+        rule_id = "TST001"
+        description = "declared"
+
+        def check(self, src):
+            return iter(())
+
+    assert Complete().rule_id == "TST001"
+
+
+# ----------------------------------------------------------------------
+# Dynamic sanitizer: racy fixture flagged, clean twin silent
+# ----------------------------------------------------------------------
+
+def _load_fixture(stem: str):
+    spec = importlib.util.spec_from_file_location(
+        f"race_fixture_{stem}", FIXTURES / f"{stem}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_sanitizer_flags_the_racy_fixture():
+    racy = _load_fixture("dynamic_racy")
+    sim = Simulator()
+    sanitizer = Sanitizer.attach(sim)
+    _, state = racy.run(sim)
+    assert sanitizer.findings, "lost-update race not detected"
+    kinds = {f.kind for f in sanitizer.findings}
+    assert kinds <= {"write-write", "read-write", "write-read"}
+    assert all(f.var == "counter" and f.field == "total"
+               for f in sanitizer.findings)
+    # The race is real: updates were actually lost.
+    assert state.snapshot()["total"] < 10
+    assert sanitizer.report().startswith("sanitizer:")
+    assert len(sanitizer.to_json()["races"]) == len(sanitizer.findings)
+
+
+def test_sanitizer_silent_on_the_lock_serialised_twin():
+    clean = _load_fixture("dynamic_clean")
+    sim = Simulator()
+    sanitizer = Sanitizer.attach(sim)
+    _, state = clean.run(sim)
+    assert sanitizer.findings == []
+    assert sanitizer.report() == "sanitizer: no races detected"
+    # Serialisation also fixes the outcome: no update lost.
+    assert state.snapshot()["total"] == 10
+
+
+def test_sanitizer_report_is_run_to_run_deterministic():
+    racy = _load_fixture("dynamic_racy")
+
+    def one_report() -> str:
+        sim = Simulator()
+        sanitizer = Sanitizer.attach(sim)
+        racy.run(sim)
+        return sanitizer.report()
+
+    assert one_report() == one_report()
+
+
+def test_sanitizer_detached_by_default_and_hooks_gated(monkeypatch):
+    racy = _load_fixture("dynamic_racy")
+    calls = {"read": 0, "write": 0}
+    real_read, real_write = Sanitizer.note_read, Sanitizer.note_write
+    monkeypatch.setattr(
+        Sanitizer, "note_read",
+        lambda self, *a: (calls.__setitem__("read", calls["read"] + 1),
+                         real_read(self, *a)),
+    )
+    monkeypatch.setattr(
+        Sanitizer, "note_write",
+        lambda self, *a: (calls.__setitem__("write", calls["write"] + 1),
+                         real_write(self, *a)),
+    )
+
+    sim, _ = racy.run()  # no sanitizer attached
+    assert sim.sanitizer is None
+    assert calls == {"read": 0, "write": 0}
+
+    sim = Simulator()
+    Sanitizer.attach(sim)
+    racy.run(sim)
+    assert calls["read"] > 0 and calls["write"] > 0
+
+
+def test_note_hooks_are_noops_without_a_sanitizer():
+    sim = Simulator()
+    assert sim.sanitizer is None
+    note_read(sim, object(), "field")
+    note_write(sim, object(), "field")  # must not raise
+
+
+def test_detach_restores_the_null_gate():
+    sim = Simulator()
+    sanitizer = Sanitizer.attach(sim)
+    assert sim.sanitizer is sanitizer
+    sanitizer.detach()
+    assert sim.sanitizer is None
+
+
+# ----------------------------------------------------------------------
+# Perturbation: seeded, reproducible, FIFO by default
+# ----------------------------------------------------------------------
+
+def _completion_order(seed: int | None) -> str:
+    sim = Simulator()
+    order: list[str] = []
+
+    def waiter(name: str):
+        yield sim.timeout(10)
+        order.append(name)
+
+    for name in "abcdef":
+        sim.process(waiter(name))
+    if seed is not None:
+        sim.perturb_ties(seed)
+    sim.run()
+    return "".join(order)
+
+
+def test_default_tiebreak_is_exact_fifo():
+    assert _completion_order(None) == "abcdef"
+
+
+def test_perturbation_shuffles_ties_reproducibly():
+    # Constant pinned on purpose: a change means the perturbation
+    # stream (or queue re-keying) changed, which invalidates every
+    # recorded divergence seed.
+    assert _completion_order(2) == "cdbfea"
+    assert _completion_order(2) == _completion_order(2)
+
+
+def test_different_seeds_reach_different_schedules():
+    orders = {_completion_order(seed) for seed in range(6)}
+    assert len(orders) > 1
+
+
+def test_perturb_ties_refuses_a_running_loop():
+    sim = Simulator()
+    sim._running = True
+    with pytest.raises(RuntimeError, match="running"):
+        sim.perturb_ties(1)
+
+
+def test_derive_seed_is_stable_and_collision_free():
+    seeds = {
+        derive_seed(0, scenario, index)
+        for scenario in ("bft", "chain", "a2m")
+        for index in range(8)
+    }
+    assert len(seeds) == 24
+    assert derive_seed(0, "bft", 0) == derive_seed(0, "bft", 0)
+    assert derive_seed(0, "bft", 0) != derive_seed(1, "bft", 0)
+
+
+# ----------------------------------------------------------------------
+# Harness: tier-1 scenarios digest-stable across eight schedules
+# ----------------------------------------------------------------------
+
+def test_scenarios_are_seed_reproducible():
+    for name, scenario in SCENARIOS.items():
+        seed = derive_seed(7, name, 0)
+        assert scenario(seed) == scenario(seed), name
+
+
+def test_run_sanitize_eight_seeds_all_stable():
+    report = run_sanitize(seeds=8)
+    assert report.ok, report.render()
+    assert {r.name for r in report.results} == {"bft", "chain", "a2m"}
+    for result in report.results:
+        assert len(result.runs) == 8
+        assert result.divergent_seeds == []
+    assert "schedule-independent" in report.render()
+
+
+def test_run_sanitize_validates_arguments():
+    with pytest.raises(ValueError, match="seeds"):
+        run_sanitize(seeds=0)
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_sanitize(scenario_names=["bft", "nope"])
+
+
+def test_run_sanitize_report_json_is_reproducible():
+    import json
+
+    first = run_sanitize(scenario_names=["bft"], seeds=2, root_seed=3)
+    second = run_sanitize(scenario_names=["bft"], seeds=2, root_seed=3)
+    assert json.dumps(first.to_json(), sort_keys=True) == \
+        json.dumps(second.to_json(), sort_keys=True)
