@@ -16,6 +16,7 @@ from conftest import register_artefact
 
 from repro.analysis import (
     INTERFERENCE_RULES,
+    OWNERSHIP_RULES,
     TNIC_MANIFEST,
     TaintEngine,
     analyze_paths,
@@ -40,6 +41,13 @@ def test_lint_latency_within_budget(benchmark):
     collect_findings(sources, [cls() for cls in INTERFERENCE_RULES])
     interference_s = time.perf_counter() - start
 
+    # A cold engine build plus all three SHD rules (the engine cache is
+    # keyed on the source set, so rule 2 and 3 reuse rule 1's build —
+    # exactly what a real lint run pays).
+    start = time.perf_counter()
+    collect_findings(sources, [cls() for cls in OWNERSHIP_RULES])
+    ownership_s = time.perf_counter() - start
+
     start = time.perf_counter()
     findings = analyze_paths()
     full_s = time.perf_counter() - start
@@ -59,6 +67,7 @@ def test_lint_latency_within_budget(benchmark):
     table.add_row("raw taint flows", str(len(flows)))
     table.add_row("taint engine (s)", f"{taint_s:.2f}")
     table.add_row("interference pass (s)", f"{interference_s:.2f}")
+    table.add_row("ownership pass (s)", f"{ownership_s:.2f}")
     table.add_row("full lint (s)", f"{full_s:.2f}")
     table.add_row("budget (s)", f"{LINT_BUDGET_S:.1f}")
     register_artefact(
@@ -70,6 +79,7 @@ def test_lint_latency_within_budget(benchmark):
             "fixpoint_passes": engine.passes_run,
             "taint_engine_s": round(taint_s, 3),
             "interference_pass_s": round(interference_s, 3),
+            "ownership_pass_s": round(ownership_s, 3),
             "full_lint_s": round(full_s, 3),
             "budget_s": LINT_BUDGET_S,
         },

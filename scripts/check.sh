@@ -22,6 +22,37 @@ echo "== stale baseline waivers =="
 python -m repro lint --prune-baseline --dry-run
 
 echo
+echo "== partition manifest (shard-safety regression gate) =="
+# Capture the committed verdicts before the CLI rewrites the file, then
+# fail if any previously shardable system regressed to blocked.
+committed_manifest=$(cat benchmarks/results/partition_manifest.json \
+    2>/dev/null || echo '{"systems": {}}')
+python -m repro lint \
+    --partition-manifest benchmarks/results/partition_manifest.json
+COMMITTED_MANIFEST="$committed_manifest" python - <<'PY'
+import json
+import os
+import sys
+
+committed = json.loads(os.environ["COMMITTED_MANIFEST"])
+with open("benchmarks/results/partition_manifest.json") as handle:
+    fresh = json.load(handle)
+regressed = sorted(
+    name
+    for name, system in committed.get("systems", {}).items()
+    if system.get("shardable")
+    and not fresh["systems"].get(name, {}).get("shardable", False)
+)
+if regressed:
+    sys.exit(
+        "shard-safety regression: previously shardable systems now "
+        "blocked: " + ", ".join(regressed)
+    )
+shardable = sum(1 for s in fresh["systems"].values() if s["shardable"])
+print(f"ok: no shardable system regressed ({shardable} shardable)")
+PY
+
+echo
 echo "== schedule-perturbation harness (python -m repro sanitize) =="
 python -m repro sanitize --seeds 8 \
     --output benchmarks/results/sanitize_report.json

@@ -17,6 +17,9 @@ turns both into mechanically enforced, CI-gated properties:
   TNT001–TNT002 verified-ingress rules over the dataflow engine;
 * :mod:`repro.analysis.interference` — RACE001–RACE003 interference
   lint for simulator processes (the static half of ``repro.sanitizer``);
+* :mod:`repro.analysis.ownership`   — SHD001–SHD003 shard-safety lint
+  (ownership domains, cross-shard escapes) and the partition-manifest
+  emitter for ROADMAP item 1's parallel engine;
 * :mod:`repro.analysis.report`      — text/JSON/SARIF rendering, TCB
   accounting.
 
@@ -51,6 +54,15 @@ from repro.analysis.interference import (
     SharedIterationYieldRule,
     YieldSpanningRmwRule,
 )
+from repro.analysis.ownership import (
+    OWNERSHIP_RULES,
+    CrossReplicaCallRule,
+    OwnershipEngine,
+    ReplicaEscapeRule,
+    SharedGlobalResidencyRule,
+    ownership_engine,
+    partition_manifest,
+)
 from repro.analysis.report import (
     TcbReport,
     default_tcb_artifact_path,
@@ -63,9 +75,12 @@ from repro.analysis.rules import (
     Finding,
     ProjectRule,
     Rule,
+    apply_suppressions,
     collect_findings,
+    collect_findings_parallel,
     default_baseline_path,
     default_rules,
+    pass_groups,
     rule_by_id,
     rule_catalog,
     run_rules,
@@ -82,11 +97,16 @@ from repro.analysis.walker import (
 __all__ = [
     "BOUNDARY_MANIFEST",
     "Baseline",
+    "CrossReplicaCallRule",
     "Finding",
     "INTERFERENCE_RULES",
     "ModuleMutableMutationRule",
+    "OWNERSHIP_RULES",
+    "OwnershipEngine",
     "ProjectRule",
+    "ReplicaEscapeRule",
     "Rule",
+    "SharedGlobalResidencyRule",
     "SharedIterationYieldRule",
     "SinkSpec",
     "SourceFile",
@@ -101,8 +121,10 @@ __all__ = [
     "YieldSpanningRmwRule",
     "analyze_dataflow",
     "analyze_paths",
+    "apply_suppressions",
     "check_boundaries",
     "collect_findings",
+    "collect_findings_parallel",
     "collect_sources",
     "default_baseline_path",
     "default_package_root",
@@ -111,7 +133,10 @@ __all__ = [
     "import_graph",
     "is_trusted",
     "parse_file",
+    "partition_manifest",
+    "pass_groups",
     "project_flows",
+    "ownership_engine",
     "render_json",
     "render_sarif",
     "render_text",

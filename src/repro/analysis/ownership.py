@@ -1,0 +1,969 @@
+"""Ownership pass: shard-safety domains for the parallel-DES engine.
+
+ROADMAP item 1 (shard the simulator across cores) is blocked on a
+correctness question: which state is provably *replica-local*, and which
+crosses replica boundaries and must become an explicit cross-shard
+message?  TNIC's own argument is that trustworthy performance comes from
+making every cross-domain interaction an explicit, checkable channel;
+this pass applies the same discipline to the codebase itself.
+
+Every class attribute is assigned an **ownership domain** by propagating
+allocation sites through constructor calls and attribute stores:
+
+* ``replica-local`` — allocated by the owning object (mutable literal or
+  constructor call in a method body); reachable only from one replica's
+  process tree, so a shard can hold it privately.
+* ``link`` — obtained from a ``repro.net``-style channel factory
+  (``EmulatedNetwork(...)``, ``network.register(...)``, ``Store(...)``,
+  ``Fabric(...)``): the sanctioned way for state to cross shards.
+* ``shared`` — aliased from a constructor parameter or another object's
+  attribute: visible to other replicas outside any channel.
+
+Domains form a lattice (``replica-local`` < ``link`` < ``shared``);
+conflicting stores join upward to ``shared``.
+
+Rules (applied only to generator methods — simulator process bodies):
+
+* ``SHD001`` — a replica-owned mutable escapes through a call on (or a
+  store into) shared-rooted state without a channel or an explicit
+  :func:`repro.sim.shard.cross_shard` annotation.
+* ``SHD002`` — a module-global mutable is both mutated and resident in
+  ≥2 replicas' process bodies: under a sharded engine each shard would
+  see a divergent copy (the sharded-run analogue of RACE001).
+* ``SHD003`` — a process mutates or calls live object state owned by a
+  different replica, reached through a shared root: the sequential
+  simulator silently permits what a sharded engine cannot.
+
+"Replica class" is decided by allocation shape: a class instantiated
+inside a loop or comprehension *in another class's method* exists once
+per replica (``_ChainNode``, ``Witness``, ...) and its live state cannot
+be touched directly across the shard boundary.
+
+The pass is a lexical over-approximation, like the interference pass:
+justified hits are waived inline with a rationale comment.  The
+:func:`partition_manifest` emitter turns the same domain assignment into
+the contract document the sharded engine will consume — see
+``docs/analysis.md`` for the format.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.analysis.dataflow import call_name
+from repro.analysis.determinism import _exempt
+from repro.analysis.interference import (
+    _MUTABLE_CTORS,
+    _MUTATORS,
+    _local_names,
+    module_level_mutables,
+)
+from repro.analysis.rules import Finding, ProjectRule, inline_ignores
+from repro.analysis.walker import (
+    SourceFile,
+    is_generator,
+    iter_functions,
+    walk_own_body,
+)
+
+#: Domain lattice order — join() picks the max.
+DOMAINS = ("replica-local", "link", "shared")
+
+#: Call tails whose result is channel state (the sanctioned crossing).
+LINK_FACTORIES = frozenset({
+    "EmulatedNetwork", "register", "Store", "Fabric", "Pipe",
+})
+
+#: Call tails that mark an explicit, annotated cross-shard handoff.
+CROSS_SHARD_MARKERS = frozenset({"cross_shard", "CrossShard"})
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _join(a: str, b: str) -> str:
+    return a if DOMAINS.index(a) >= DOMAINS.index(b) else b
+
+
+@dataclass
+class AttrInfo:
+    """Domain assignment for one ``self.<name>`` attribute."""
+
+    name: str
+    domain: str
+    mutable: bool
+    line: int
+    points_to: str | None = None  # qualname of the aliased class, if known
+    reason: str = ""
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class with its methods and attribute domains."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    src: SourceFile
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    attrs: dict[str, AttrInfo] = field(default_factory=dict)
+    replica: bool = False
+
+
+@dataclass
+class GlobalInfo:
+    """One module-level mutable and who touches it."""
+
+    name: str
+    module: str
+    line: int
+    mutated_by: set[str] = field(default_factory=set)
+    process_accessors: set[str] = field(default_factory=set)
+    replica_accessors: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Value:
+    """Classification of one right-hand-side expression."""
+
+    domain: str
+    mutable: bool
+    points_to: str | None = None
+    reason: str = ""
+
+
+@dataclass
+class ChainRes:
+    """Resolution of an attribute chain against a class's domains."""
+
+    first: AttrInfo | None  # the chain's first attribute segment
+    link: bool              # a link-domain segment makes it a channel
+    resolved: int           # how many segments resolved
+
+
+def _chain_parts(expr: ast.expr) -> list[str] | None:
+    """``a.b[k].c`` → ``["a", "b", "c"]``; None if rooted elsewhere.
+
+    Subscripts are peeled (indexing into a container keeps the chain's
+    ownership), calls are not (a call result is a fresh value).
+    """
+    parts: list[str] = []
+    node = expr
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return list(reversed(parts))
+        else:
+            return None
+
+
+def _annotation_class(annotation: ast.expr | None) -> str | None:
+    """The bare class name an annotation points at, if it is a name."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.strip().split("[")[0].split(".")[-1] or None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    return None
+
+
+class OwnershipEngine:
+    """Domain assignment over one source set (built once, shared by rules)."""
+
+    def __init__(self, sources: Sequence[SourceFile]) -> None:
+        self.sources = [src for src in sources if not _exempt(src)]
+        self.classes: dict[str, ClassInfo] = {}
+        self.by_class_name: dict[str, list[ClassInfo]] = {}
+        self.methods_by_name: dict[str, list[ClassInfo]] = {}
+        self.globals_: dict[str, dict[str, GlobalInfo]] = {}
+        self._index()
+        self._detect_replicas()
+        self._assign_domains()
+        self._scan_globals()
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index(self) -> None:
+        for src in self.sources:
+            for node in src.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                info = ClassInfo(
+                    qualname=f"{src.module}.{node.name}", module=src.module,
+                    name=node.name, node=node, src=src,
+                )
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info.methods[sub.name] = sub
+                        self.methods_by_name.setdefault(sub.name, []).append(info)
+                self.classes[info.qualname] = info
+                self.by_class_name.setdefault(node.name, []).append(info)
+
+    def class_for(self, bare_name: str, module: str) -> ClassInfo | None:
+        """Resolve *bare_name*, preferring a class in *module*."""
+        candidates = self.by_class_name.get(bare_name, [])
+        for info in candidates:
+            if info.module == module:
+                return info
+        return candidates[0] if len(candidates) == 1 else None
+
+    # ------------------------------------------------------------------
+    # Replica detection: instantiated per-replica (loop/comprehension in
+    # another class's method), so live instances exist once per shard.
+    # ------------------------------------------------------------------
+    def _detect_replicas(self) -> None:
+        replica_names: set[str] = set()
+        for info in self.classes.values():
+            for method in info.methods.values():
+                replica_names.update(self._looped_ctors(method))
+        for name in replica_names:
+            for info in self.by_class_name.get(name, []):
+                info.replica = True
+
+    def _looped_ctors(self, func: ast.AST) -> set[str]:
+        found: set[str] = set()
+
+        def visit(node: ast.AST, in_loop: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.Lambda)):
+                    continue
+                child_in_loop = in_loop or isinstance(
+                    child, (ast.For, ast.AsyncFor, ast.While,
+                            ast.ListComp, ast.SetComp, ast.DictComp,
+                            ast.GeneratorExp))
+                if in_loop and isinstance(child, ast.Call):
+                    tail = (call_name(child.func) or "").rsplit(".", 1)[-1]
+                    if tail in self.by_class_name:
+                        found.add(tail)
+                visit(child, child_in_loop)
+
+        visit(func, False)
+        return found
+
+    @property
+    def replica_classes(self) -> set[str]:
+        return {q for q, info in self.classes.items() if info.replica}
+
+    # ------------------------------------------------------------------
+    # Domain assignment: classify every `self.<attr> = expr` store.
+    # ------------------------------------------------------------------
+    def _assign_domains(self) -> None:
+        for info in self.classes.values():
+            ordered = sorted(
+                info.methods.values(),
+                key=lambda m: (m.name != "__init__", m.lineno),
+            )
+            for method in ordered:
+                self._scan_method_stores(info, method)
+
+    def _param_classes(self, info: ClassInfo,
+                       method: ast.FunctionDef) -> dict[str, str | None]:
+        out: dict[str, str | None] = {}
+        args = method.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            bare = _annotation_class(arg.annotation)
+            resolved = self.class_for(bare, info.module) if bare else None
+            out[arg.arg] = resolved.qualname if resolved else None
+        return out
+
+    def _scan_method_stores(self, info: ClassInfo,
+                            method: ast.FunctionDef) -> None:
+        params = self._param_classes(info, method)
+        env: dict[str, _Value] = {}
+        stmts = sorted(
+            (n for n in walk_own_body(method)
+             if isinstance(n, (ast.Assign, ast.AnnAssign, ast.AugAssign))),
+            key=lambda n: (n.lineno, n.col_offset),
+        )
+        for stmt in stmts:
+            if isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            elif isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            else:  # AugAssign never rebinds ownership
+                continue
+            if value is None:
+                continue
+            val = self._classify(value, info, params, env)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = val
+                elif (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in ("self", "cls")):
+                    self._record_attr(info, target.attr, val, stmt.lineno)
+
+    def _record_attr(self, info: ClassInfo, name: str, val: _Value,
+                     line: int) -> None:
+        existing = info.attrs.get(name)
+        if existing is None:
+            info.attrs[name] = AttrInfo(
+                name=name, domain=val.domain, mutable=val.mutable,
+                line=line, points_to=val.points_to, reason=val.reason,
+            )
+            return
+        joined = _join(existing.domain, val.domain)
+        if joined != existing.domain:
+            existing.domain = joined
+            existing.reason = val.reason or existing.reason
+        existing.mutable = existing.mutable or val.mutable
+        if existing.points_to is None:
+            existing.points_to = val.points_to
+
+    def _classify(self, expr: ast.expr, info: ClassInfo,
+                  params: dict[str, str | None],
+                  env: dict[str, _Value]) -> _Value:
+        if isinstance(expr, ast.Constant):
+            return _Value("replica-local", False, reason="constant")
+        if isinstance(expr, _MUTABLE_DISPLAYS):
+            return _Value("replica-local", True, reason="mutable literal")
+        if isinstance(expr, ast.Tuple):
+            parts = [self._classify(e, info, params, env) for e in expr.elts]
+            domain = "replica-local"
+            for part in parts:
+                domain = _join(domain, part.domain)
+            return _Value(domain, False, reason="tuple")
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            if expr.id in params:
+                return _Value("shared", True, params[expr.id],
+                              f"aliased constructor argument `{expr.id}`")
+            return _Value("shared", True, reason=f"free variable `{expr.id}`")
+        if isinstance(expr, ast.Call):
+            tail = (call_name(expr.func) or "").rsplit(".", 1)[-1]
+            if tail in LINK_FACTORIES:
+                return _Value("link", True, reason=f"channel factory `{tail}`")
+            ctor = self.class_for(tail, info.module)
+            if ctor is not None:
+                return _Value("replica-local", True, ctor.qualname,
+                              f"allocation `{tail}(...)`")
+            if tail in _MUTABLE_CTORS or tail in ("list", "dict", "set"):
+                return _Value("replica-local", True, reason="container ctor")
+            return _Value("replica-local", True, reason=f"call `{tail}(...)`")
+        if isinstance(expr, (ast.Attribute, ast.Subscript)):
+            parts = _chain_parts(expr)
+            if parts and parts[0] in ("self", "cls") and len(parts) > 1:
+                res = self.resolve_chain(info, parts[1:])
+                if res.link:
+                    return _Value("link", True, reason="channel alias")
+                if res.first is not None:
+                    tail_cls = self._chain_tail_class(info, parts[1:])
+                    return _Value(res.first.domain, True, tail_cls,
+                                  f"alias of `self.{'.'.join(parts[1:])}`")
+            if parts and (parts[0] in env or parts[0] in params):
+                base = env.get(parts[0]) or _Value(
+                    "shared", True, params.get(parts[0]))
+                return _Value(base.domain, True,
+                              reason=f"reached through `{parts[0]}`")
+            if isinstance(expr, ast.Subscript):
+                return self._classify(expr.value, info, params, env)
+            return _Value("shared", True, reason="foreign attribute")
+        if isinstance(expr, ast.BinOp):
+            left = self._classify(expr.left, info, params, env)
+            right = self._classify(expr.right, info, params, env)
+            return _Value(_join(left.domain, right.domain),
+                          left.mutable or right.mutable, reason="expression")
+        if isinstance(expr, ast.IfExp):
+            body = self._classify(expr.body, info, params, env)
+            other = self._classify(expr.orelse, info, params, env)
+            return _Value(_join(body.domain, other.domain),
+                          body.mutable or other.mutable, reason="conditional")
+        if isinstance(expr, (ast.UnaryOp, ast.Compare, ast.BoolOp,
+                             ast.JoinedStr)):
+            return _Value("replica-local", False, reason="expression")
+        return _Value("replica-local", False, reason="unclassified")
+
+    # ------------------------------------------------------------------
+    # Chain resolution (used by the rules and the manifest)
+    # ------------------------------------------------------------------
+    def resolve_chain(self, owner: ClassInfo,
+                      attr_parts: Sequence[str]) -> ChainRes:
+        """Walk ``self.a.b.c`` attribute segments from *owner*.
+
+        Resolution follows ``points_to`` class bindings; it stops at the
+        first link-domain segment (the chain is a channel) or at an
+        attribute it cannot resolve.
+        """
+        first: AttrInfo | None = None
+        current: ClassInfo | None = owner
+        resolved = 0
+        for index, segment in enumerate(attr_parts):
+            attr = current.attrs.get(segment) if current is not None else None
+            if attr is None:
+                break
+            resolved += 1
+            if index == 0:
+                first = attr
+            if attr.domain == "link":
+                return ChainRes(first, True, resolved)
+            current = (self.classes.get(attr.points_to)
+                       if attr.points_to else None)
+        return ChainRes(first, False, resolved)
+
+    def _chain_tail_class(self, owner: ClassInfo,
+                          attr_parts: Sequence[str]) -> str | None:
+        current: ClassInfo | None = owner
+        for segment in attr_parts:
+            attr = current.attrs.get(segment) if current is not None else None
+            if attr is None or attr.points_to is None:
+                return None
+            current = self.classes.get(attr.points_to)
+        return current.qualname if current is not None else None
+
+    # ------------------------------------------------------------------
+    # Module globals (SHD002)
+    # ------------------------------------------------------------------
+    def _scan_globals(self) -> None:
+        for src in self.sources:
+            mutables = module_level_mutables(src.tree)
+            if not mutables:
+                continue
+            table: dict[str, GlobalInfo] = {}
+            for stmt in src.tree.body:
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                else:
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in mutables:
+                        table.setdefault(target.id, GlobalInfo(
+                            name=target.id, module=src.module,
+                            line=stmt.lineno,
+                        ))
+            owner_class = {
+                method.name: cls
+                for cls in self.classes.values() if cls.module == src.module
+                for method in cls.methods.values()
+            }
+            for func in iter_functions(src.tree):
+                locals_ = _local_names(func)
+                touched = {
+                    name for name in mutables - locals_
+                    if self._touches_global(func, name)
+                }
+                mutated = {
+                    name for name in mutables - locals_
+                    if self._mutates_global(func, name)
+                }
+                cls = owner_class.get(func.name)
+                qual = (f"{cls.name}.{func.name}" if cls is not None
+                        and func in cls.methods.values() else func.name)
+                for name in mutated:
+                    table.setdefault(name, GlobalInfo(
+                        name=name, module=src.module, line=0,
+                    )).mutated_by.add(qual)
+                if not is_generator(func):
+                    continue
+                for name in touched:
+                    entry = table.setdefault(name, GlobalInfo(
+                        name=name, module=src.module, line=0))
+                    entry.process_accessors.add(qual)
+                    if cls is not None and cls.replica:
+                        entry.replica_accessors.add(qual)
+            self.globals_[src.module] = table
+
+    @staticmethod
+    def _touches_global(func: ast.AST, name: str) -> bool:
+        return any(
+            isinstance(node, ast.Name) and node.id == name
+            for node in walk_own_body(func)
+        )
+
+    @staticmethod
+    def _mutates_global(func: ast.AST, name: str) -> bool:
+        for node in walk_own_body(func):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name
+                    and node.func.attr in _MUTATORS):
+                return True
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.ctx, (ast.Store, ast.Del))
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == name):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Per-process context
+    # ------------------------------------------------------------------
+    def iter_processes(self) -> Iterator[tuple[SourceFile, ClassInfo | None,
+                                               ast.FunctionDef]]:
+        """Every generator function, with its owning class when a method."""
+        for src in self.sources:
+            owners: dict[int, ClassInfo] = {}
+            for cls in self.classes.values():
+                if cls.module != src.module:
+                    continue
+                for method in cls.methods.values():
+                    owners[id(method)] = cls
+            for func in iter_functions(src.tree):
+                if not is_generator(func):
+                    continue
+                yield src, owners.get(id(func)), func
+
+
+def local_aliases(func: ast.FunctionDef) -> dict[str, tuple[str, ...]]:
+    """``name -> self-attr chain`` for locals aliased from ``self`` state.
+
+    ``system = self.system`` makes later ``system.x`` chains resolvable
+    as ``self.system.x`` — peer_review leans on this idiom heavily.
+    """
+    aliases: dict[str, tuple[str, ...]] = {}
+    stmts = sorted(
+        (n for n in walk_own_body(func) if isinstance(n, ast.Assign)),
+        key=lambda n: (n.lineno, n.col_offset),
+    )
+    for stmt in stmts:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            continue
+        parts = _chain_parts(stmt.value)
+        if parts is None or len(parts) < 2:
+            continue
+        if parts[0] in ("self", "cls"):
+            aliases[stmt.targets[0].id] = tuple(parts[1:])
+        elif parts[0] in aliases:
+            aliases[stmt.targets[0].id] = aliases[parts[0]] + tuple(parts[1:])
+    return aliases
+
+
+@dataclass
+class _ProcessCtx:
+    owner: ClassInfo
+    aliases: dict[str, tuple[str, ...]]
+
+    def attr_parts(self, expr: ast.expr) -> tuple[str, ...] | None:
+        """Resolve *expr* to self-attr segments, through local aliases."""
+        parts = _chain_parts(expr)
+        if parts is None:
+            return None
+        if parts[0] in ("self", "cls"):
+            return tuple(parts[1:])
+        if parts[0] in self.aliases:
+            return self.aliases[parts[0]] + tuple(parts[1:])
+        return None
+
+
+def _is_cross_shard(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    tail = (call_name(expr.func) or "").rsplit(".", 1)[-1]
+    return tail in CROSS_SHARD_MARKERS
+
+
+# ----------------------------------------------------------------------
+# Engine cache (same shape as taint.project_flows)
+# ----------------------------------------------------------------------
+
+_ENGINE_CACHE: dict[tuple, OwnershipEngine] = {}
+_ENGINE_CACHE_LIMIT = 8
+
+
+def ownership_engine(sources: Sequence[SourceFile]) -> OwnershipEngine:
+    key = tuple((str(src.path), hash(src.source)) for src in sources)
+    engine = _ENGINE_CACHE.get(key)
+    if engine is None:
+        if len(_ENGINE_CACHE) >= _ENGINE_CACHE_LIMIT:
+            _ENGINE_CACHE.clear()
+        engine = _ENGINE_CACHE[key] = OwnershipEngine(sources)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+class _OwnershipRule(ProjectRule):
+    """Shared shape: per-process analysis against the domain assignment."""
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        engine = ownership_engine(sources)
+        for src, owner, func in engine.iter_processes():
+            if owner is None:
+                continue
+            ctx = _ProcessCtx(owner, local_aliases(func))
+            yield from self.check_process(engine, src, func, ctx)
+
+    def check_process(self, engine: OwnershipEngine, src: SourceFile,
+                      func: ast.FunctionDef,
+                      ctx: _ProcessCtx) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ReplicaEscapeRule(_OwnershipRule):
+    rule_id = "SHD001"
+    description = (
+        "replica-owned mutable escapes to shared state outside a channel; "
+        "a sharded engine cannot alias it across cores"
+    )
+    explanation = (
+        "An object this replica allocated (its log, store, counters) is "
+        "handed to another ownership domain by reference: passed to a "
+        "call on shared-rooted state, or stored into it, without going "
+        "through a repro.net channel.  The sequential simulator shares "
+        "one heap, so this silently works; a sharded engine places each "
+        "replica's state on its own core, where a live reference across "
+        "the boundary is either a copy (divergence) or a data race.  "
+        "Route the value through a channel message, or mark the handoff "
+        "explicit with repro.sim.shard.cross_shard(value) and let the "
+        "engine serialize it.  If the callee provably only reads during "
+        "the call, waive inline with a rationale comment."
+    )
+
+    def check_process(self, engine, src, func, ctx):
+        for node in walk_own_body(func):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = ctx.attr_parts(node.func.value)
+                if not receiver:
+                    continue
+                res = engine.resolve_chain(ctx.owner, receiver)
+                if res.link or res.first is None or res.first.domain != "shared":
+                    continue
+                for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                    if _is_cross_shard(arg):
+                        continue
+                    owned = self._owned_mutable(engine, ctx, arg)
+                    if owned is None:
+                        continue
+                    yield self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"in simulator process `{func.name}`: replica-owned "
+                        f"mutable `self.{owned}` escapes via "
+                        f"`{'.'.join(receiver)}.{node.func.attr}()` outside "
+                        "a channel; send it as a message or wrap it in "
+                        "cross_shard()",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    dest = ctx.attr_parts(target)
+                    if not dest or len(dest) < 2:
+                        continue
+                    res = engine.resolve_chain(ctx.owner, dest)
+                    if res.link or res.first is None or res.first.domain != "shared":
+                        continue
+                    if _is_cross_shard(node.value):
+                        continue
+                    owned = self._owned_mutable(engine, ctx, node.value)
+                    if owned is None:
+                        continue
+                    yield self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"in simulator process `{func.name}`: replica-owned "
+                        f"mutable `self.{owned}` stored into shared "
+                        f"`{'.'.join(dest)}`; send it as a message or wrap "
+                        "it in cross_shard()",
+                    )
+
+    @staticmethod
+    def _owned_mutable(engine: OwnershipEngine, ctx: _ProcessCtx,
+                       expr: ast.expr) -> str | None:
+        """The dotted self-attr name if *expr* is a replica-owned mutable."""
+        parts = ctx.attr_parts(expr)
+        if not parts:
+            return None
+        first = ctx.owner.attrs.get(parts[0])
+        if first is None or first.domain != "replica-local" or not first.mutable:
+            return None
+        return ".".join(parts)
+
+
+class SharedGlobalResidencyRule(ProjectRule):
+    rule_id = "SHD002"
+    description = (
+        "module-global mutable mutated and resident in multiple replicas' "
+        "process bodies; shards would each see a divergent copy"
+    )
+    explanation = (
+        "A module-level mutable referenced from more than one replica's "
+        "process body lives in interpreter-global memory.  The "
+        "sequential engine makes that one object; a sharded engine forks "
+        "per-core interpreters, so each shard gets its own copy and the "
+        "copies silently diverge as soon as anything mutates it.  Move "
+        "the state onto the system or replica object (replica-local "
+        "domain), or make it an immutable constant.  RACE001 flags the "
+        "same shape for interleaving nondeterminism; this rule fires "
+        "even when every mutation is outside a process, because "
+        "residency alone breaks sharding."
+    )
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        engine = ownership_engine(sources)
+        by_module = {src.module: src for src in engine.sources}
+        for module in sorted(engine.globals_):
+            src = by_module[module]
+            for name in sorted(engine.globals_[module]):
+                info = engine.globals_[module][name]
+                if not info.mutated_by or info.line == 0:
+                    continue
+                weight = sum(
+                    2 if qual in info.replica_accessors else 1
+                    for qual in info.process_accessors
+                )
+                if weight < 2:
+                    continue
+                accessors = ", ".join(sorted(info.process_accessors))
+                yield self.finding(
+                    src, info.line, 0,
+                    f"module-level mutable `{name}` is mutated (by "
+                    f"{', '.join(sorted(info.mutated_by))}) and resident in "
+                    f"replica process bodies ({accessors}); shards would "
+                    "each hold a divergent copy",
+                )
+
+
+class CrossReplicaCallRule(_OwnershipRule):
+    rule_id = "SHD003"
+    description = (
+        "direct mutation or method call on another replica's live state "
+        "through a shared root; a sharded engine cannot execute it"
+    )
+    explanation = (
+        "A process reaches through shared-rooted state into an object it "
+        "does not own and mutates it (or calls a method that only replica "
+        "classes define) without a channel in between.  On the "
+        "sequential engine this is an ordinary method call; on a sharded "
+        "engine the target lives on another core, so the call would need "
+        "a synchronous cross-shard RPC the conservative-synchronization "
+        "design does not provide.  Replace the direct touch with a "
+        "channel message the owning replica applies to its own state.  "
+        "If the access is genuinely local (e.g. the objects are pinned "
+        "to one shard), waive inline with a rationale comment."
+    )
+
+    def check_process(self, engine, src, func, ctx):
+        for node in walk_own_body(func):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = ctx.attr_parts(node.func.value)
+                if not receiver:
+                    continue
+                res = engine.resolve_chain(ctx.owner, receiver)
+                if res.link or res.first is None or res.first.domain != "shared":
+                    continue
+                method = node.func.attr
+                if method in _MUTATORS and len(receiver) >= 2:
+                    yield self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"in simulator process `{func.name}`: "
+                        f"`.{method}()` mutates `{'.'.join(receiver)}`, "
+                        "state owned outside this replica; send the owner "
+                        "a message instead",
+                    )
+                    continue
+                candidates = engine.methods_by_name.get(method, [])
+                if (candidates and len(candidates) <= 6
+                        and all(c.replica for c in candidates)):
+                    yield self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"in simulator process `{func.name}`: direct "
+                        f"cross-replica call `{'.'.join(receiver)}"
+                        f".{method}()` touches another replica's live "
+                        "state; route it through a channel",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                        continue
+                    base = (target.value if isinstance(target, ast.Subscript)
+                            else target)
+                    dest = ctx.attr_parts(base)
+                    if not dest or len(dest) < 2:
+                        continue
+                    res = engine.resolve_chain(ctx.owner, dest)
+                    if res.link or res.first is None or res.first.domain != "shared":
+                        continue
+                    yield self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"in simulator process `{func.name}`: writes "
+                        f"`{'.'.join(dest)}`, state owned outside this "
+                        "replica; send the owner a message instead",
+                    )
+                    break
+
+
+OWNERSHIP_RULES = (
+    ReplicaEscapeRule,
+    SharedGlobalResidencyRule,
+    CrossReplicaCallRule,
+)
+
+
+# ----------------------------------------------------------------------
+# Partition manifest (the contract document for ROADMAP item 1)
+# ----------------------------------------------------------------------
+
+#: The four §8.3 systems and the modules each topology spans.
+SYSTEM_MODULES: dict[str, tuple[str, ...]] = {
+    "bft": ("repro.systems.bft", "repro.systems.common"),
+    "chain": ("repro.systems.chain", "repro.systems.common"),
+    "a2m": ("repro.systems.a2m",),
+    "peer_review": ("repro.systems.peer_review", "repro.systems.common"),
+}
+
+#: Channel-call tails that constitute a cross-shard edge.
+_EDGE_METHODS = frozenset({"send", "broadcast", "put"})
+
+
+def _message_type(func: ast.FunctionDef, arg: ast.expr) -> str:
+    """Best-effort message class name for a channel-send payload."""
+    if isinstance(arg, ast.Call):
+        tail = (call_name(arg.func) or "").rsplit(".", 1)[-1]
+        if tail and tail[0].isupper():
+            return tail
+    if isinstance(arg, ast.Name):
+        for node in walk_own_body(func):
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == arg.id
+                    and isinstance(node.value, ast.Call)):
+                tail = (call_name(node.value.func) or "").rsplit(".", 1)[-1]
+                if tail and tail[0].isupper():
+                    return tail
+    try:
+        return ast.unparse(arg)
+    except Exception:  # pragma: no cover - unparse is total on real ASTs
+        return "<expr>"
+
+
+def _cross_shard_edges(engine: OwnershipEngine,
+                       modules: tuple[str, ...]) -> list[dict]:
+    edges: list[dict] = []
+    for src in engine.sources:
+        if src.module not in modules:
+            continue
+        owners = {
+            id(method): cls
+            for cls in engine.classes.values() if cls.module == src.module
+            for method in cls.methods.values()
+        }
+        for func in iter_functions(src.tree):
+            cls = owners.get(id(func))
+            ctx = (_ProcessCtx(cls, local_aliases(func))
+                   if cls is not None else None)
+            for node in walk_own_body(func):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _EDGE_METHODS
+                        and node.args):
+                    continue
+                receiver = _chain_parts(node.func.value)
+                if receiver is None:
+                    continue
+                is_link = "network" in receiver or (
+                    ctx is not None
+                    and (parts := ctx.attr_parts(node.func.value)) is not None
+                    and engine.resolve_chain(ctx.owner, parts).link
+                )
+                if not is_link:
+                    continue
+                where = (f"{cls.name}.{func.name}" if cls is not None
+                         else func.name)
+                try:
+                    dst = ast.unparse(node.args[0])
+                except Exception:  # pragma: no cover
+                    dst = "<expr>"
+                message = (_message_type(func, node.args[1])
+                           if len(node.args) > 1 else "<none>")
+                edges.append({
+                    "src": f"{src.module}.{where}",
+                    "channel": ".".join(receiver),
+                    "kind": node.func.attr,
+                    "dst": dst,
+                    "message_type": message,
+                    "line": node.lineno,
+                })
+    edges.sort(key=lambda e: (e["src"], e["line"]))
+    return edges
+
+
+def partition_manifest(sources: Sequence[SourceFile]) -> dict:
+    """The per-system shard plan the parallel engine will consume.
+
+    ``shardable`` is deliberately strict: inline waivers silence the
+    lint gate, but a waived finding still blocks sharding — the waiver
+    says "acceptable on the sequential engine", not "safe to shard".
+    """
+    engine = ownership_engine(sources)
+    raw = []
+    for rule_cls in OWNERSHIP_RULES:
+        raw.extend(rule_cls().check_project(sources))
+    by_path = {str(src.path): src for src in sources}
+
+    systems: dict[str, dict] = {}
+    for system, modules in sorted(SYSTEM_MODULES.items()):
+        classes: dict[str, dict] = {}
+        state = {"replica-local": [], "link": [], "shared": []}
+        for qualname in sorted(engine.classes):
+            info = engine.classes[qualname]
+            if info.module not in modules:
+                continue
+            classes[info.name] = {
+                "module": info.module,
+                "role": "replica" if info.replica else "singleton",
+                "attributes": {
+                    name: {
+                        "domain": attr.domain,
+                        "mutable": attr.mutable,
+                        "line": attr.line,
+                    }
+                    for name, attr in sorted(info.attrs.items())
+                },
+            }
+            for name, attr in sorted(info.attrs.items()):
+                state[attr.domain].append(f"{info.name}.{name}")
+        blocking = []
+        for finding in sorted(
+            (f for f in raw if f.module in modules),
+            key=lambda f: (f.path, f.line, f.rule),
+        ):
+            src = by_path.get(finding.path)
+            waived = bool(
+                src is not None
+                and finding.rule in inline_ignores(src, finding.line)
+            )
+            blocking.append({
+                "rule": finding.rule,
+                "module": finding.module,
+                "line": finding.line,
+                "message": finding.message,
+                "waived": waived,
+            })
+        systems[system] = {
+            "modules": list(modules),
+            "classes": classes,
+            "state": {k: sorted(v) for k, v in state.items()},
+            "cross_shard_edges": _cross_shard_edges(engine, modules),
+            "blocking_findings": blocking,
+            "shardable": not blocking,
+        }
+    return {
+        "schema": 1,
+        "generated_by": "python -m repro lint --partition-manifest",
+        "comment": (
+            "Shard plan for the parallel-DES engine (ROADMAP item 1): "
+            "per-system ownership domains, cross-shard channel edges, "
+            "and shardable verdicts. Waived SHD findings still block."
+        ),
+        "systems": systems,
+    }

@@ -53,14 +53,16 @@ def render_sarif(findings: Sequence[Finding]) -> str:
     """SARIF 2.1.0 document for CI / editor consumption.
 
     Only rules that actually fired are listed in the driver metadata
-    (SARIF permits this, and it keeps the artifact small); fingerprints
-    travel as ``partialFingerprints`` so SARIF viewers track findings
-    across commits the same way the baseline does.
+    (SARIF permits this, and it keeps the artifact small); every result
+    carries a ``ruleIndex`` into that array, and fingerprints travel as
+    ``partialFingerprints`` so SARIF viewers track findings across
+    commits the same way the baseline does.
     """
     from repro.analysis.rules import rule_catalog
 
     catalog = rule_catalog()
     fired = sorted({finding.rule for finding in findings})
+    rule_index = {rule_id: index for index, rule_id in enumerate(fired)}
     document = {
         "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
         "version": "2.1.0",
@@ -84,6 +86,7 @@ def render_sarif(findings: Sequence[Finding]) -> str:
                 "results": [
                     {
                         "ruleId": finding.rule,
+                        "ruleIndex": rule_index[finding.rule],
                         "level": "error",
                         "message": {"text": finding.message},
                         "partialFingerprints": {

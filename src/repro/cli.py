@@ -220,7 +220,16 @@ def _run_lint(args: argparse.Namespace) -> int:
     if args.explain:
         rule = rule_by_id(args.explain)
         if rule is None:
-            print(f"lint: unknown rule: {args.explain}", file=sys.stderr)
+            from repro.analysis import rule_catalog
+
+            prefixes = sorted({
+                rule_id.rstrip("0123456789") for rule_id in rule_catalog()
+            })
+            print(
+                f"lint: no such rule: {args.explain} "
+                f"(valid prefixes: {', '.join(prefixes)})",
+                file=sys.stderr,
+            )
             return 2
         print(f"{rule.rule_id}: {rule.description}")
         if rule.explanation:
@@ -234,6 +243,25 @@ def _run_lint(args: argparse.Namespace) -> int:
             print(f"lint: no such path: {target}", file=sys.stderr)
             return 2
     sources = collect_sources(targets)
+
+    if args.partition_manifest:
+        import json
+
+        from repro.analysis.ownership import partition_manifest
+
+        manifest = partition_manifest(sources)
+        out = Path(args.partition_manifest)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+        for name, system in sorted(manifest["systems"].items()):
+            verdict = "shardable" if system["shardable"] else "blocked"
+            print(
+                f"lint: {name:12s} {verdict:9s} "
+                f"edges={len(system['cross_shard_edges']):2d} "
+                f"blocking={len(system['blocking_findings'])}"
+            )
+        print(f"lint: partition manifest written to {out}")
+        return 0
 
     baseline_path = (
         Path(args.baseline) if args.baseline else default_baseline_path()
@@ -265,7 +293,18 @@ def _run_lint(args: argparse.Namespace) -> int:
         print(f"lint: pruned {len(removed)} stale entr(y/ies) from {baseline_path}")
         return 0
 
-    findings = run_rules(sources, baseline=Baseline.load(baseline_path))
+    if getattr(args, "jobs", 1) > 1:
+        from repro.analysis.rules import (
+            apply_suppressions,
+            collect_findings_parallel,
+        )
+
+        raw = collect_findings_parallel(targets, sources, args.jobs)
+        findings = apply_suppressions(
+            raw, sources, Baseline.load(baseline_path)
+        )
+    else:
+        findings = run_rules(sources, baseline=Baseline.load(baseline_path))
     if args.format == "json":
         print(render_json(findings))
     elif args.format == "sarif":
@@ -453,6 +492,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--tcb-report", action="store_true",
         help="also emit the measured-TCB LoC artifact under "
              "benchmarks/results/",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent pass groups (syntactic/taint/interference/"
+             "ownership) across N worker processes (default 1: serial)",
+    )
+    lint.add_argument(
+        "--partition-manifest", default=None, metavar="FILE",
+        help="write the shard plan (per-system ownership domains, "
+             "cross-shard edges, shardable verdicts) to FILE and exit",
     )
 
     sanitize = sub.add_parser(

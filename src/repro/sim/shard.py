@@ -1,0 +1,42 @@
+"""Explicit cross-shard handoff annotation for the parallel-DES engine.
+
+The ownership pass (``repro.analysis.ownership``) forbids a replica-owned
+mutable from escaping to shared state outside a ``repro.net`` channel
+(SHD001).  Some handoffs are deliberate — an audit hands its log to a
+witness, a snapshot is surrendered to a collector.  Wrapping the value in
+:func:`cross_shard` marks the transfer explicit: the lint sanctions it,
+and the future sharded engine will serialize the value at the boundary
+instead of aliasing it.
+
+On the sequential engine :func:`cross_shard` is the identity function —
+zero cost, no behaviour change.  :class:`CrossShard` is the structured
+form the sharded engine will consume when it needs the transfer reason.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class CrossShard:
+    """A value explicitly surrendered across a shard boundary."""
+
+    __slots__ = ("value", "reason")
+
+    def __init__(self, value: Any, reason: str = "") -> None:
+        self.value = value
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CrossShard({self.value!r}, reason={self.reason!r})"
+
+
+def cross_shard(value: Any, reason: str = "") -> Any:
+    """Mark *value* as deliberately handed across a shard boundary.
+
+    Identity on the sequential engine; the *reason* documents why the
+    transfer is safe (it is carried into the partition manifest by the
+    ownership pass's waiver workflow).
+    """
+    del reason  # recorded lexically by the lint, not at run time
+    return value

@@ -1,0 +1,35 @@
+"""Seeded SHD003 violations: direct touches on state owned outside the
+calling replica, reached through a shared root."""
+
+
+class Tally:
+    def __init__(self) -> None:
+        self.finished = 0
+
+
+class Grid:
+    def __init__(self, names) -> None:
+        self.faults = []
+        self.tally = Tally()
+        self.workers = {name: Worker(name, self) for name in names}
+
+
+class Worker:
+    def __init__(self, name, grid: "Grid") -> None:
+        self.name = name
+        self.grid = grid
+        self.done = False
+
+    def step(self, item) -> None:
+        self.done = True
+
+    def run(self, sim):
+        while True:
+            yield sim.timeout(1)
+            grid = self.grid
+            # Mutates the grid's fault list in place: line 31.
+            grid.faults.append(self.name)
+            # Calls another replica's method on live state: line 33.
+            grid.workers["w0"].step(self.name)
+            # Writes state owned by the grid's tally object: line 35.
+            grid.tally.finished = 1

@@ -1,0 +1,33 @@
+"""Seeded SHD001 violations: replica-owned mutables escaping to
+shared-rooted state outside any channel."""
+
+
+class Collector:
+    def __init__(self) -> None:
+        self.seen = []
+
+    def collect(self, log):
+        self.seen.append(log)
+
+
+class System:
+    def __init__(self, names) -> None:
+        self.collector = Collector()
+        self.latest = None
+        self.nodes = {name: Node(name, self) for name in names}
+
+
+class Node:
+    def __init__(self, name, system: "System") -> None:
+        self.name = name
+        self.system = system
+        self.log = []  # replica-owned mutable
+
+    def run(self, sim):
+        while True:
+            yield sim.timeout(1)
+            self.log.append(self.name)
+            # Hands a live reference to another domain: line 31.
+            self.system.collector.collect(self.log)
+            # Stores the owned log into shared state: line 33.
+            self.system.latest = self.log

@@ -1,0 +1,23 @@
+"""Seeded SHD002 violation: a module-global mutable mutated and
+resident in two replicas' process bodies."""
+
+TALLIES: dict = {}  # line 4: every shard would fork a divergent copy
+
+
+class Mesh:
+    def __init__(self, names) -> None:
+        self.peers = [Peer(name) for name in names]
+
+
+class Peer:
+    def __init__(self, name) -> None:
+        self.name = name
+
+    def run(self, sim):
+        while True:
+            yield sim.timeout(1)
+            TALLIES[self.name] = TALLIES.get(self.name, 0) + 1
+
+    def drain(self, sim):
+        yield sim.timeout(2)
+        TALLIES.pop(self.name, None)

@@ -1,0 +1,50 @@
+"""Clean twin of ``escape_ledger``: the log crosses domains only as a
+channel message or an explicit ``cross_shard`` handoff."""
+
+from repro.sim.shard import cross_shard
+
+
+class EmulatedNetwork:
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.inboxes = {}
+
+    def register(self, name):
+        inbox = []
+        self.inboxes[name] = inbox
+        return inbox
+
+    def send(self, dst, message) -> None:
+        self.inboxes[dst].append(message)
+
+
+class Auditor:
+    def __init__(self) -> None:
+        self.seen = []
+
+    def collect(self, snapshot):
+        self.seen.append(snapshot)
+
+
+class System:
+    def __init__(self, sim, names) -> None:
+        self.network = EmulatedNetwork(sim)
+        self.auditor = Auditor()
+        self.nodes = {name: Node(name, self) for name in names}
+
+
+class Node:
+    def __init__(self, name, system: "System") -> None:
+        self.name = name
+        self.system = system
+        self.log = []
+        self.inbox = system.network.register(name)
+
+    def run(self, sim):
+        while True:
+            yield sim.timeout(1)
+            self.log.append(self.name)
+            # A snapshot through the channel: sanctioned.
+            self.system.network.send("auditor", tuple(self.log))
+            # A live reference, but explicitly surrendered: sanctioned.
+            self.system.auditor.collect(cross_shard(self.log))

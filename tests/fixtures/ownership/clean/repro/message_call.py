@@ -1,0 +1,37 @@
+"""Clean twin of ``cross_call``: cross-replica work travels as channel
+messages the owning replica applies to its own state."""
+
+
+class EmulatedNetwork:
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.inboxes = {}
+
+    def register(self, name):
+        inbox = []
+        self.inboxes[name] = inbox
+        return inbox
+
+    def send(self, dst, message) -> None:
+        self.inboxes[dst].append(message)
+
+
+class Grid:
+    def __init__(self, sim, names) -> None:
+        self.network = EmulatedNetwork(sim)
+        self.workers = {name: Worker(name, self) for name in names}
+
+
+class Worker:
+    def __init__(self, name, grid: "Grid") -> None:
+        self.name = name
+        self.grid = grid
+        self.inbox = grid.network.register(name)
+        self.faults = []
+
+    def run(self, sim):
+        while True:
+            item = yield sim.timeout(1)
+            # Own state mutates freely; remote work goes as a message.
+            self.faults.append(item)
+            self.grid.network.send("w0", ("step", self.name))

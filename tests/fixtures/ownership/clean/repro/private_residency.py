@@ -1,0 +1,23 @@
+"""Clean twin of ``global_residency``: per-replica tallies live on the
+replica object; module globals are read-only configuration."""
+
+ROUTES = ("east", "west")
+LIMITS = {"east": 4, "west": 4}  # mutable shape, but never mutated
+
+
+class Mesh:
+    def __init__(self, names) -> None:
+        self.peers = [Peer(name) for name in names]
+
+
+class Peer:
+    def __init__(self, name) -> None:
+        self.name = name
+        self.tally = {}
+
+    def run(self, sim):
+        while True:
+            yield sim.timeout(1)
+            self.tally[self.name] = self.tally.get(self.name, 0) + 1
+            if self.tally[self.name] >= LIMITS.get(self.name, 0):
+                return

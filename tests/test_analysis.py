@@ -341,7 +341,8 @@ def test_rule_catalog_lists_every_pass():
     assert {"DET001", "DET002", "DET003", "DET004", "DET005",
             "SIM001", "SIM002", "SIM003", "BND001",
             "SEC001", "SEC002", "SEC003", "TNT001", "TNT002",
-            "RACE001", "RACE002", "RACE003"} <= set(catalog)
+            "RACE001", "RACE002", "RACE003",
+            "SHD001", "SHD002", "SHD003"} <= set(catalog)
     assert all(catalog.values())
 
 
@@ -360,6 +361,74 @@ def test_render_sarif_is_valid_and_carries_fingerprints(tmp_path):
     assert result["partialFingerprints"]["tnicLint/v1"] == findings[0].fingerprint()
     region = result["locations"][0]["physicalLocation"]["region"]
     assert region["startLine"] == 2
+
+
+def _sarif_document_for(tmp_path, name, source):
+    path = _write_module(tmp_path, name, source)
+    findings = run_rules([parse_file(path)])
+    assert findings, "fixture must produce findings"
+    return findings, json.loads(render_sarif(findings))
+
+
+def test_render_sarif_matches_the_2_1_0_schema_shape(tmp_path):
+    """Required keys, rule metadata for every result, stable ruleIndex."""
+    _findings, document = _sarif_document_for(
+        tmp_path, "repro/shape.py",
+        "import time\nimport random\n"
+        "NOW = time.time()\nDICE = random.random()\n",
+    )
+    assert document["$schema"].endswith("sarif-2.1.0.json")
+    assert document["version"] == "2.1.0"
+    assert isinstance(document["runs"], list) and document["runs"]
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] and driver["informationUri"]
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids), "driver rules must be sorted"
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+    for result in run["results"]:
+        assert set(result) >= {"ruleId", "ruleIndex", "level", "message",
+                               "locations", "partialFingerprints"}
+        # ruleIndex must point at the matching driver rule (§3.27.6).
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+
+def test_render_sarif_indexes_shd_rules(tmp_path):
+    """The ownership pass's findings carry rule metadata like any other."""
+    root = tmp_path / "repro"
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "__init__.py").write_text("")
+    (root / "shard_bad.py").write_text(
+        "class System:\n"
+        "    def __init__(self, names):\n"
+        "        self.latest = None\n"
+        "        self.nodes = [Node(n, self) for n in names]\n"
+        "\n"
+        "class Node:\n"
+        "    def __init__(self, name, system):\n"
+        "        self.system = system\n"
+        "        self.log = []\n"
+        "\n"
+        "    def run(self, sim):\n"
+        "        yield sim.timeout(1)\n"
+        "        self.system.latest = self.log\n"
+    )
+    findings = run_rules(collect_sources([tmp_path]))
+    shd = [f for f in findings if f.rule.startswith("SHD")]
+    assert shd, "expected SHD findings from the fixture"
+    document = json.loads(render_sarif(findings))
+    run = document["runs"][0]
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    shd_results = [r for r in run["results"]
+                   if r["ruleId"].startswith("SHD")]
+    assert shd_results
+    for result in shd_results:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
 
 
 # ----------------------------------------------------------------------
