@@ -66,6 +66,16 @@ rm -f /tmp/tnic-metrics-a.json /tmp/tnic-metrics-b.json
 echo "ok: metrics documents byte-identical"
 
 echo
+echo "== trace determinism (two seeded BFT critical-path runs must match) =="
+python -m repro trace --scenario bft --ops 4 --seed 3 --critical-path \
+    --output /tmp/tnic-trace-a.json > /dev/null
+python -m repro trace --scenario bft --ops 4 --seed 3 --critical-path \
+    --output /tmp/tnic-trace-b.json > /dev/null
+cmp /tmp/tnic-trace-a.json /tmp/tnic-trace-b.json
+rm -f /tmp/tnic-trace-a.json /tmp/tnic-trace-b.json
+echo "ok: critical-path analyses byte-identical"
+
+echo
 echo "== benchmark smoke (Fig. 6 breakdown + sim kernel) =="
 python -m pytest -q benchmarks/bench_fig06_attest_breakdown.py \
     benchmarks/bench_sim_kernel.py

@@ -9,8 +9,15 @@ it forbids even *importing* the ``time`` / ``datetime`` modules there,
 so the temptation never compiles.  Timestamps must come from the
 simulator's virtual clock (``sim.now``), period.
 
-Scope: ``repro.telemetry`` and the tracepoint layer it plugs into
-(:mod:`repro.sim.instrument`, :mod:`repro.sim.trace`).
+Scope: ``repro.telemetry`` — including the trace-propagation,
+profiler, critical-path and export submodules — and the tracepoint
+layer it plugs into (:mod:`repro.sim.instrument`, with its
+``trace_inject``/``trace_extract`` hooks, and :mod:`repro.sim.trace`).
+Besides imports and calls, the rule flags *bare references* to
+wall-clock functions (``clock = time.perf_counter_ns``): storing the
+clock as a callable smuggles the same nondeterminism past a call-only
+check.  The deterministic profiler's host-CPU clock is the single
+sanctioned exception, carried by inline waivers.
 """
 
 from __future__ import annotations
@@ -66,6 +73,14 @@ class TelemetryWallClockRule(Rule):
     def check(self, src: SourceFile) -> Iterator[Finding]:
         if not _in_scope(src):
             return
+        # Attribute nodes that are the func of a Call are reported by
+        # the Call branch; remember them so the bare-reference branch
+        # below does not report the same site twice.
+        call_funcs = {
+            id(node.func)
+            for node in ast.walk(src.tree)
+            if isinstance(node, ast.Call)
+        }
         for node in ast.walk(src.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -92,6 +107,15 @@ class TelemetryWallClockRule(Rule):
                         src, node.lineno, node.col_offset,
                         f"`{name}()` reads the wall clock inside the "
                         "observability layer",
+                    )
+            elif isinstance(node, ast.Attribute) and id(node) not in call_funcs:
+                name = dotted_name(node)
+                if name in _WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"reference to `{name}` inside the observability "
+                        "layer; storing the wall clock as a callable "
+                        "smuggles the same nondeterminism",
                     )
 
 

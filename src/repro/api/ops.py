@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 from repro.api.connection import IbvConnection
 from repro.core.attestation import AttestedMessage
 from repro.net.packet import RdmaOpcode
+from repro.sim.instrument import span_begin, trace_inject
 from repro.stack.rdma_lib import WorkRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,8 +31,16 @@ def auth_send(conn: IbvConnection, payload: bytes) -> "Event":
     The payload is staged into registered ibv memory, DMA'd into the
     device, attested inline by the attestation kernel and reliably
     delivered; the event triggers once the peer ACKs.
+
+    This is also where a *logical request* is born, so with telemetry
+    attached it opens the ``request.auth_send`` root span — the apex of
+    the causal trace — and injects its context into the work request's
+    metadata.  Every downstream stage (post/DMA/HMAC/wire/rx-verify,
+    local and on the receiving replica) joins this trace; the root
+    closes when the peer's ACK triggers the completion event.
     """
     _require_synced(conn)
+    sim = conn.node.sim
     address = conn.stage(payload)
     request = WorkRequest(
         opcode=RdmaOpcode.SEND,
@@ -39,7 +48,15 @@ def auth_send(conn: IbvConnection, payload: bytes) -> "Event":
         local_addr=address,
         length=len(payload),
     )
-    return conn.node.rdma.post(request)
+    span = span_begin(sim, "request.auth_send",
+                      node=conn.node.name, qp=conn.qp_number,
+                      bytes=len(payload))
+    if span:
+        trace_inject(sim, request.meta, span)
+    completion = conn.node.rdma.post(request)
+    if span:
+        completion.callbacks.append(lambda _event: span.end())
+    return completion
 
 
 def rem_write(conn: IbvConnection, remote_offset: int, payload: bytes) -> "Event":

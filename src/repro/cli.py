@@ -359,14 +359,18 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _instrumented_workload(ops: int, seed: int, tamper: bool):
+def _instrumented_workload(
+    ops: int, seed: int, tamper: bool, profile: bool = False
+):
     """Run a deterministic two-node send/recv workload with telemetry.
 
     Returns the cluster with its attached :class:`Telemetry` hub.  With
     *tamper* the fabric flips one byte of the first attested payload,
     exercising the rejection path and the flight recorder; go-back-N
     then redelivers the genuine message, so the workload still
-    completes.
+    completes.  With *profile* a :class:`~repro.telemetry.profiler
+    .Profiler` is attached before the workload runs (reachable as
+    ``cluster.sim.profiler``).
     """
     from repro.api import Cluster, auth_send
     from repro.api.ops import recv
@@ -390,6 +394,10 @@ def _instrumented_workload(ops: int, seed: int, tamper: bool):
 
     cluster = Cluster(["alice", "bob"], seed=seed, fault=fault)
     hub = Telemetry.attach(cluster.sim)
+    if profile:
+        from repro.telemetry.profiler import Profiler
+
+        Profiler.attach(cluster.sim)
     conn_a, conn_b = cluster.connect("alice", "bob")
     sizes = (64, 256, 1024, 4096)
     for i in range(ops):
@@ -398,6 +406,25 @@ def _instrumented_workload(ops: int, seed: int, tamper: bool):
         cluster.run()
         recv(conn_b)
     return cluster, hub
+
+
+def _instrumented_bft(batches: int, seed: int, profile: bool = False):
+    """Run the seeded Fig. 10 BFT scenario with telemetry attached.
+
+    Every client batch becomes one ``bft.request`` trace spanning the
+    client, the leader and every follower.
+    """
+    from repro.systems.bft import BftCounter
+    from repro.telemetry import Telemetry
+
+    system = BftCounter(provider_name="tnic", f=1, seed=seed)
+    hub = Telemetry.attach(system.sim)
+    if profile:
+        from repro.telemetry.profiler import Profiler
+
+        Profiler.attach(system.sim)
+    system.run_workload(batches)
+    return system, hub
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -415,8 +442,63 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    cluster, _ = _instrumented_workload(args.ops, args.seed, args.tamper)
-    tracer = cluster.sim.tracer
+    import json as _json
+    from pathlib import Path
+
+    profile = bool(args.profile)
+    if args.scenario == "bft":
+        host, hub = _instrumented_bft(args.ops, args.seed, profile=profile)
+    else:
+        host, hub = _instrumented_workload(
+            args.ops, args.seed, args.tamper, profile=profile
+        )
+    sim = host.sim
+
+    if args.profile:
+        profiler = sim.profiler
+        Path(args.profile).write_text(
+            _json.dumps(profiler.document(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"trace: profile written to {args.profile}")
+
+    analysis = args.critical_path or args.summary or args.export
+    if analysis:
+        from repro.telemetry.critical_path import (
+            critical_paths,
+            render_critical_paths,
+            render_summary,
+            summarize,
+        )
+
+        paths = critical_paths(hub.spans.finished)
+        if args.export == "chrome":
+            from repro.telemetry import chrome
+
+            doc = chrome.document(hub, profiler=sim.profiler)
+            rendered = _json.dumps(doc, indent=2, sort_keys=True)
+            if args.output:
+                Path(args.output).write_text(rendered + "\n",
+                                             encoding="utf-8")
+                print(f"trace: chrome trace written to {args.output}")
+            else:
+                print(rendered)
+        elif args.output:
+            document = {"critical_paths": paths,
+                        "summary": summarize(paths)}
+            Path(args.output).write_text(
+                _json.dumps(document, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"trace: analysis written to {args.output}")
+        if args.critical_path:
+            print(render_critical_paths(paths))
+        if args.summary:
+            print(render_summary(summarize(paths)))
+        return 0
+
+    tracer = sim.tracer
     rendered = tracer.render(args.category)
     if rendered:
         print(rendered)
@@ -556,6 +638,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--category", default=None,
         help="only show records whose category starts with this prefix "
              "(e.g. roce.)",
+    )
+    trace.add_argument(
+        "--scenario", choices=["sendrecv", "bft"], default="sendrecv",
+        help="workload to trace: the two-node send/recv loop (default) "
+             "or the seeded Fig.-10 BFT cluster (--ops = batches)",
+    )
+    trace.add_argument(
+        "--critical-path", action="store_true",
+        help="print the longest causal chain per request with the "
+             "Fig.-6 stage breakdown (from the propagated span trees)",
+    )
+    trace.add_argument(
+        "--summary", action="store_true",
+        help="print per-stage p50/p99 across all traced requests",
+    )
+    trace.add_argument(
+        "--export", choices=["chrome"], default=None,
+        help="export the span forest as Chrome trace-event / Perfetto "
+             "JSON (to --output, else stdout)",
+    )
+    trace.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the analysis/export JSON document to FILE",
+    )
+    trace.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="attach the deterministic profiler and write the profile "
+             "artifact (sim + host-CPU attribution) to FILE",
     )
     return parser
 

@@ -27,7 +27,7 @@ from repro.net.packet import RdmaOpcode
 from repro.roce.queue_pair import QueuePair
 from repro.roce.state_tables import CompletionEntry
 from repro.roce.transport import RoceKernel
-from repro.sim.instrument import count, span_begin
+from repro.sim.instrument import count, span_begin, trace_extract, trace_inject
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.clock import Simulator
@@ -112,8 +112,16 @@ class TnicDevice:
 
     def _tx_path(self, qp_number, payload, opcode, meta, done):
         qp = self.roce._qp(qp_number)
-        span = span_begin(self.sim, "tnic.tx", device=self.device_id,
+        # Continue the poster's trace (the carrier is the WR metadata)
+        # and replace the carried context with this span's own, so the
+        # packet that leaves the MAC points at tnic.tx and the remote
+        # rx-verify stage joins the tree right here.
+        span = span_begin(self.sim, "tnic.tx",
+                          parent=trace_extract(self.sim, meta),
+                          device=self.device_id,
                           qp=qp_number, bytes=len(payload))
+        if span:
+            trace_inject(self.sim, meta, span)
         try:
             stage = span.child("tnic.dma")
             yield self.dma.transfer(len(payload))

@@ -35,7 +35,13 @@ from repro.net.packet import (
 )
 from repro.roce.queue_pair import QueuePair
 from repro.roce.state_tables import CompletionEntry, StateTables
-from repro.sim.instrument import count, flight_trigger, gauge_set, span_begin
+from repro.sim.instrument import (
+    count,
+    flight_trigger,
+    gauge_set,
+    span_begin,
+    trace_extract,
+)
 from repro.sim.resources import Store
 from repro.sim.trace import emit
 
@@ -419,7 +425,11 @@ class RoceKernel:
                 device_id=trailer.device_id,
                 counter=trailer.send_cnt,
             )
+            # The packet metadata carries the sender's tnic.tx context
+            # (injected on the transmitting device), so the receiving
+            # replica's verification joins the same causal trace.
             vspan = span_begin(self.sim, "roce.rx_verify",
+                               parent=trace_extract(self.sim, packet.meta),
                                node=self.ip, qp=qp_number)
             try:
                 verified = yield self.attestation.verify_event(

@@ -86,6 +86,14 @@ class Simulator:
         #: the Process/Event hooks and ``instrument.note_read/note_write``
         #: dispatch through it, same zero-cost-when-detached contract.
         self.sanitizer = None
+        #: Optional deterministic profiler (see
+        #: :mod:`repro.telemetry.profiler`), attached with
+        #: ``Profiler.attach(sim)``.  The drain loop dispatches each
+        #: processed event through it; detached, the cost is one
+        #: attribute load and one ``is`` check per event.  The kernel
+        #: never reads a clock itself — the profiler owns its own
+        #: host-time source — so this file stays DET001-clean.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -211,7 +219,15 @@ class Simulator:
         self._now = when
         event._state = _PROCESSED
         callbacks = event.callbacks
-        if callbacks:
+        profiler = self.profiler
+        if profiler is not None:
+            event.callbacks = []
+            started = profiler.clock()
+            for callback in callbacks:
+                callback(event)
+            profiler.account(event, callbacks, when,
+                             profiler.clock() - started)
+        elif callbacks:
             event.callbacks = []
             for callback in callbacks:
                 callback(event)
@@ -289,7 +305,19 @@ class Simulator:
                     self._now = when
                     event._state = _PROCESSED
                     callbacks = event.callbacks
-                    if callbacks:
+                    profiler = self.profiler
+                    if profiler is not None:
+                        # Profiled lane: bracket the callbacks with the
+                        # profiler's host clock and attribute the event.
+                        # The detached lane below is untouched — its
+                        # cost is the one attribute load + `is` check.
+                        event.callbacks = []
+                        started = profiler.clock()
+                        for callback in callbacks:
+                            callback(event)
+                        profiler.account(event, callbacks, when,
+                                         profiler.clock() - started)
+                    elif callbacks:
                         event.callbacks = []
                         for callback in callbacks:
                             callback(event)

@@ -89,6 +89,36 @@ def span_begin(sim, name: str, parent: Any = None, **labels: Any):
     return telemetry.span_begin(name, parent=parent, **labels)
 
 
+def trace_inject(sim, carrier: dict, span: Any) -> None:
+    """Serialise *span*'s trace context into *carrier* (a metadata dict
+    that travels with a packet or system message).
+
+    The trusted datapath calls this with whatever ``span_begin`` handed
+    back and never interprets the result: with telemetry detached (or a
+    :data:`NULL_SPAN` in hand) the carrier is left untouched, and with a
+    live hub the context is written under an opaque key the receiver's
+    ``trace_extract`` understands.  One attribute load + one ``is``
+    check when off, like every hook here.
+    """
+    telemetry = sim.telemetry
+    if telemetry is not None:
+        telemetry.trace_inject(carrier, span)
+
+
+def trace_extract(sim, carrier: dict) -> Any | None:
+    """Recover a propagated trace context from *carrier*, if any.
+
+    Returns an opaque parent handle suitable for ``span_begin(...,
+    parent=...)`` — the receiving replica's spans join the sender's
+    trace tree.  None when telemetry is detached or nothing rides in
+    the carrier (the span then roots a fresh trace).
+    """
+    telemetry = sim.telemetry
+    if telemetry is not None:
+        return telemetry.trace_extract(carrier)
+    return None
+
+
 def note_read(sim, obj: Any, field: str) -> None:
     """Record a read of ``obj.field`` with the happens-before sanitizer.
 

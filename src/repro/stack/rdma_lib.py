@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.device import TnicDevice
 from repro.net.packet import RdmaOpcode
-from repro.sim.instrument import count, span_begin
+from repro.sim.instrument import count, span_begin, trace_extract, trace_inject
 from repro.stack.memory import IbvMemory, MemoryError_, RdmaKey
 from repro.stack.process import TnicProcess
 from repro.stack.regs import RegField
@@ -121,7 +121,10 @@ class RdmaLibrary:
     def _post_locked(self, request: WorkRequest, done: "Event"):
         # The "post" stage of the send breakdown: lock wait + REGs
         # programming + doorbell, ending when the device owns the WR.
+        # Joins the caller's trace when the work request carries one
+        # (auth_send injects its root context into request.meta).
         span = span_begin(self.sim, "tnic.post",
+                          parent=trace_extract(self.sim, request.meta),
                           qp=request.qp_number, bytes=request.length)
         yield self.process.exclusive_regs()
         try:
@@ -139,6 +142,10 @@ class RdmaLibrary:
             )
             regs.write_u64(RegField.CTRL_DOORBELL, 1)
             meta = dict(request.meta)
+            if span:
+                # Hand the device *this* stage's context so tnic.tx
+                # nests under tnic.post in the causal tree.
+                trace_inject(self.sim, meta, span)
             if request.opcode is RdmaOpcode.WRITE:
                 meta["remote_addr"] = request.remote_addr
                 if request.rkey is not None:

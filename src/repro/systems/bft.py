@@ -18,12 +18,14 @@ from dataclasses import dataclass
 
 from repro.core.attestation import AttestedMessage
 from repro.sim.clock import Simulator
+from repro.sim.instrument import span_begin
 from repro.systems.common import (
     BroadcastAuthenticator,
     EmulatedNetwork,
     EquivocationDetected,
     SystemMetrics,
     install_shared_sessions,
+    unwrap,
 )
 from repro.tee.base import AttestationProvider
 from repro.tee.providers import make_provider
@@ -143,15 +145,19 @@ class _Replica:
 
     def run_leader(self):
         while True:
-            request = yield self.inbox.get()
+            item = yield self.inbox.get()
+            request, trace_parent = unwrap(self.system.sim, item)
             if isinstance(request, ProofOfExecution):
-                yield from self._leader_handle_ack(request)
+                yield from self._leader_handle_ack(request, trace_parent)
                 continue
             if isinstance(request, ReadRequest):
                 yield from self._answer_read(request)
                 continue
             if not isinstance(request, ClientRequest):
                 continue
+            span = span_begin(self.system.sim, "bft.leader",
+                              parent=trace_parent, node=self.name,
+                              batch=request.batch_id)
             output = self.counter + request.increments
             if not self.behaviour.wrong_output:
                 self.counter = output
@@ -162,7 +168,9 @@ class _Replica:
             )
             if self.behaviour.replay and self._last_attested is not None:
                 # Re-send a stale but valid attested message.
-                self.system.broadcast_poe(self.name, self._last_attested)
+                self.system.broadcast_poe(self.name, self._last_attested,
+                                          parent=span)
+                span.end(status="replay")
                 continue
             if self.behaviour.equivocate:
                 # Different statements to different followers: each gets
@@ -177,28 +185,39 @@ class _Replica:
                         self.system.session_ids[self.name], forked
                     )
                     self.system.network.send(
-                        follower, ProofOfExecution(self.name, attested)
+                        follower, ProofOfExecution(self.name, attested),
+                        parent=span,
                     )
+                span.end(status="equivocate")
                 continue
+            stage = span.child("attest.hmac")
             attested = yield self.provider.attest(
                 self.system.session_ids[self.name], payload
             )
+            stage.end()
             # The pre-yield read of _last_attested is in the replay
             # branch, which `continue`s before any yield runs — the
             # flagged span crosses mutually exclusive branches, and the
             # field is private to this replica's single leader process.
             self._last_attested = attested  # lint: ignore[RACE002] exclusive branches
-            self.system.broadcast_poe(self.name, attested)
+            self.system.broadcast_poe(self.name, attested, parent=span)
+            span.end(status="ok")
 
-    def _leader_handle_ack(self, message: ProofOfExecution):
+    def _leader_handle_ack(self, message: ProofOfExecution, trace_parent=None):
         """validate_follower(): verify the follower's PoE and output,
         then reply to the client (once per batch)."""
+        span = span_begin(self.system.sim, "bft.leader_ack",
+                          parent=trace_parent, node=self.name)
         auth = self.authenticator_for(message.sender)
+        stage = span.child("bft.rx_verify")
         try:
             payload = yield auth.verify(message.attested)
         except EquivocationDetected as exc:
+            stage.end(status="rejected")
+            span.end(status="rejected")
             self.detected_faults.append(str(exc))
             return
+        stage.end()
         batch_id, increments, output = _decode_poe(payload)
         expected = self.simulated.get(message.sender, 0) + increments
         if output != expected:
@@ -206,34 +225,46 @@ class _Replica:
                 f"follower {message.sender} output mismatch: "
                 f"claimed {output}, simulated {expected}"
             )
+            span.end(status="mismatch")
             return
         self.simulated[message.sender] = expected
         acks = self.acks_per_batch.setdefault(batch_id, set())
         if message.sender in acks:
+            span.end(status="duplicate")
             return
         acks.add(message.sender)
         if len(acks) == 1:  # incr_req_acks_if_not_incr_before + single reply
             self.system.network.send(
-                self.system.client_name, Reply(self.name, batch_id, self.counter)
+                self.system.client_name,
+                Reply(self.name, batch_id, self.counter),
+                parent=span,
             )
+        span.end(status="ok")
 
     # ------------------------------------------------------------------
     # Follower role (Algorithm 3, follower())
     # ------------------------------------------------------------------
     def run_follower(self):
         while True:
-            message = yield self.inbox.get()
+            item = yield self.inbox.get()
+            message, trace_parent = unwrap(self.system.sim, item)
             if isinstance(message, ReadRequest):
                 yield from self._answer_read(message)
                 continue
             if not isinstance(message, ProofOfExecution):
                 continue
+            span = span_begin(self.system.sim, "bft.follower",
+                              parent=trace_parent, node=self.name)
             auth = self.authenticator_for(message.sender)
+            stage = span.child("bft.rx_verify")
             try:
                 payload = yield auth.verify(message.attested)
             except EquivocationDetected as exc:
+                stage.end(status="rejected")
+                span.end(status="rejected")
                 self.detected_faults.append(str(exc))
                 continue
+            stage.end()
             batch_id, increments, output = _decode_poe(payload)
             # validate_sender: simulate the sender's state transition.
             expected = self.simulated.get(message.sender, 0) + increments
@@ -242,27 +273,34 @@ class _Replica:
                     f"output mismatch from {message.sender}: "
                     f"claimed {output}, simulated {expected}"
                 )
+                span.end(status="mismatch")
                 continue
             self.simulated[message.sender] = expected
             if batch_id in self.applied_batches:
+                span.end(status="duplicate")
                 continue  # in_order_not_applied()
             self.applied_batches.add(batch_id)
             self.counter += increments
             own_payload = _encode_poe(batch_id, increments, self.counter)
+            stage = span.child("attest.hmac")
             attested = yield self.provider.attest(
                 self.system.session_ids[self.name], own_payload
             )
+            stage.end()
             poe = ProofOfExecution(self.name, attested)
-            self.system.network.send(self.system.leader_name, poe)
+            self.system.network.send(self.system.leader_name, poe, parent=span)
             # "it forwards the leader's request to every other replica to
             # ensure that all correct replicas will eventually receive
             # and apply the same command."
             for peer in self.system.followers:
                 if peer != self.name:
-                    self.system.network.send(peer, poe)
+                    self.system.network.send(peer, poe, parent=span)
             self.system.network.send(
-                self.system.client_name, Reply(self.name, batch_id, self.counter)
+                self.system.client_name,
+                Reply(self.name, batch_id, self.counter),
+                parent=span,
             )
+            span.end(status="ok")
 
 
 # ---------------------------------------------------------------------------
@@ -320,11 +358,18 @@ class BftCounter:
         for follower in self.followers:
             self.sim.process(self.replicas[follower].run_follower())
 
-    def broadcast_poe(self, sender: str, attested: AttestedMessage) -> None:
-        """Equivocation-free multicast: identical attested message to all."""
+    def broadcast_poe(
+        self, sender: str, attested: AttestedMessage, parent=None
+    ) -> None:
+        """Equivocation-free multicast: identical attested message to all.
+
+        The *attested message* is identical for every follower (that is
+        the point of the pattern); with tracing on, each destination
+        still gets its own hop span and envelope around it.
+        """
         poe = ProofOfExecution(sender, attested)
         for follower in self.followers:
-            self.network.send(follower, poe)
+            self.network.send(follower, poe, parent=parent)
 
     # ------------------------------------------------------------------
     # Client
@@ -357,13 +402,22 @@ class BftCounter:
         sent_at: dict[int, float] = {}
         votes: dict[int, dict[int, set[str]]] = {}
         committed: set[int] = set()
+        #: batch_id -> its ``bft.request`` root span: the apex of the
+        #: cross-replica trace, opened at submission and closed at
+        #: quorum commit (straggler replies land after the root ends
+        #: and are excluded from the critical path by the gating rule).
+        roots: dict[int, object] = {}
         next_batch = 0
         while len(committed) < batches and not self.aborted:
             while next_batch < batches and len(sent_at) < depth:
                 sent_at[next_batch] = self.sim.now
                 votes[next_batch] = {}
+                root = span_begin(self.sim, "bft.request",
+                                  batch=next_batch, system="bft")
+                roots[next_batch] = root
                 self.network.send(
-                    self.leader_name, ClientRequest(next_batch, self.batch)
+                    self.leader_name, ClientRequest(next_batch, self.batch),
+                    parent=root,
                 )
                 next_batch += 1
             get_event = self.client_inbox.get()
@@ -377,7 +431,7 @@ class BftCounter:
                 # cannot lose a concurrent update.
                 self.aborted = True  # lint: ignore[RACE002] single-writer flag
                 break
-            reply = winner[get_event]
+            reply, _ = unwrap(self.sim, winner[get_event])
             if not isinstance(reply, Reply) or reply.batch_id not in sent_at:
                 continue
             voters = votes[reply.batch_id].setdefault(reply.output, set())
@@ -385,8 +439,11 @@ class BftCounter:
             if len(voters) >= quorum:
                 latency = self.sim.now - sent_at.pop(reply.batch_id)
                 committed.add(reply.batch_id)
+                roots.pop(reply.batch_id).end(status="committed")
                 for _ in range(self.batch):
                     self.metrics.record(latency)
+        for root in roots.values():
+            root.end(status="uncommitted")
         self.metrics.finished_at = self.sim.now
         done.succeed(self.metrics)
 
@@ -422,7 +479,7 @@ class BftCounter:
                 self.client_inbox.cancel_get(get_event)
                 done.fail(TimeoutError("no read quorum"))
                 return
-            reply = winner[get_event]
+            reply, _ = unwrap(self.sim, winner[get_event])
             if (
                 not isinstance(reply, Reply)
                 or reply.batch_id != -read_id - 1

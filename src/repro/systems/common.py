@@ -20,7 +20,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.attestation import AttestedMessage
-from repro.sim.instrument import count, gauge_set, observe
+from repro.sim.instrument import (
+    count,
+    gauge_set,
+    observe,
+    span_begin,
+    trace_extract,
+    trace_inject,
+)
 from repro.sim.latency import SYSTEM_NET_HOP_US
 from repro.sim.resources import Store
 from repro.sim.trace import emit
@@ -29,6 +36,34 @@ from repro.tee.base import AttestationProvider
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.clock import Simulator
     from repro.sim.events import Event
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """A system message plus the trace carrier riding along with it.
+
+    :meth:`EmulatedNetwork.send` wraps the message only when the caller
+    supplied a live trace parent *and* telemetry is attached, so
+    untraced runs (including the golden-trace scenarios) move the bare
+    message objects they always did.  Receivers split an inbox item
+    back apart with :func:`unwrap`.
+    """
+
+    message: Any
+    carrier: dict
+
+
+def unwrap(sim: "Simulator", item: Any) -> tuple[Any, Any]:
+    """Split an inbound inbox item into ``(message, trace_parent)``.
+
+    Plain messages pass through with a ``None`` parent; an
+    :class:`Envelope` yields its message plus the propagated context
+    (suitable for ``span_begin(..., parent=...)``), joining the
+    receiver's spans to the sender's trace.
+    """
+    if isinstance(item, Envelope):
+        return item.message, trace_extract(sim, item.carrier)
+    return item, None
 
 
 class EmulatedNetwork:
@@ -94,8 +129,16 @@ class EmulatedNetwork:
     def held_messages(self) -> int:
         return len(self._held)
 
-    def send(self, dst: str, message: Any) -> None:
-        """Deliver *message* to *dst* after one hop latency."""
+    def send(self, dst: str, message: Any, parent: Any = None) -> None:
+        """Deliver *message* to *dst* after one hop latency.
+
+        With a live trace *parent* (a span or extracted context) and
+        telemetry attached, the hop itself becomes a ``system.net_hop``
+        span under *parent* and the message travels inside an
+        :class:`Envelope` carrying that span's context — the receiver
+        unwraps it and continues the trace.  Messages toward isolated
+        nodes travel unwrapped (a partition outlives any hop span).
+        """
         if dst not in self._inboxes:
             raise KeyError(f"unknown destination {dst!r}")
         self.messages_sent += 1
@@ -113,11 +156,26 @@ class EmulatedNetwork:
                 gauge_set(self.sim, "system.net_held", len(self._held))
             return
         inbox = self._inboxes[dst]
+        if parent and self.sim.telemetry is not None:
+            span = span_begin(self.sim, "system.net_hop",
+                              parent=parent, dst=dst)
+            carrier: dict = {}
+            trace_inject(self.sim, carrier, span)
+            envelope = Envelope(message, carrier)
+
+            def _deliver() -> None:
+                inbox.put(envelope)
+                span.end()
+
+            self.sim.delayed_call(self.hop_latency_us, _deliver)
+            return
         self.sim.delayed_call(self.hop_latency_us, lambda: inbox.put(message))
 
-    def broadcast(self, destinations: list[str], message: Any) -> None:
+    def broadcast(
+        self, destinations: list[str], message: Any, parent: Any = None
+    ) -> None:
         for dst in destinations:
-            self.send(dst, message)
+            self.send(dst, message, parent=parent)
 
 
 class EquivocationDetected(Exception):
@@ -223,6 +281,21 @@ class SystemMetrics:
         ordered = sorted(self.latencies_us)
         index = min(int(len(ordered) * p), len(ordered) - 1)
         return ordered[index]
+
+    def to_dict(self) -> dict:
+        """Canonical deterministic export (the BENCH-artifact view).
+
+        Only virtual-time numbers — never the simulator handle this
+        object keeps for telemetry dispatch.
+        """
+        return {
+            "committed": self.committed,
+            "elapsed_us": round(self.elapsed_us, 6),
+            "throughput_ops": round(self.throughput_ops, 6),
+            "mean_latency_us": round(self.mean_latency_us, 6),
+            "p50_latency_us": round(self.percentile_latency_us(0.50), 6),
+            "p99_latency_us": round(self.percentile_latency_us(0.99), 6),
+        }
 
 
 def install_shared_sessions(

@@ -56,6 +56,7 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.propagation import TRACEPARENT_KEY, TraceContext
 from repro.telemetry.recorder import FlightRecorder
 from repro.telemetry.spans import Span, SpanTracker
 
@@ -77,10 +78,15 @@ class Telemetry:
         span_capacity: int = 4096,
         trace_tail: int = 256,
         max_snapshots: int = 32,
+        sample_every: int = 1,
+        sampling_seed: int = 0,
     ) -> None:
         self.sim = sim
         self.registry = MetricsRegistry()
-        self.spans = SpanTracker(sim, self.registry, capacity=span_capacity)
+        self.spans = SpanTracker(
+            sim, self.registry, capacity=span_capacity,
+            sample_every=sample_every, sampling_seed=sampling_seed,
+        )
         self.recorder = FlightRecorder(
             sim, self, trace_tail=trace_tail, max_snapshots=max_snapshots
         )
@@ -113,11 +119,29 @@ class Telemetry:
         )
         self.registry.histogram(name, bounds=bounds, **labels).observe(value)
 
-    def span_begin(self, name: str, parent: Span | None = None, **labels: Any) -> Span:
+    def span_begin(
+        self,
+        name: str,
+        parent: Span | TraceContext | None = None,
+        **labels: Any,
+    ) -> Span:
         return self.spans.begin(name, parent=parent, **labels)
 
     def flight_trigger(self, event: str, **context: Any) -> None:
         self.recorder.trigger(event, **context)
+
+    def trace_inject(self, carrier: dict, span: Any) -> None:
+        """Serialise *span*'s context into *carrier* (``trace_inject``
+        tracepoint).  Anything without a span identity — the detached
+        :class:`~repro.sim.instrument.NullSpan`, None — is ignored."""
+        if isinstance(span, Span):
+            carrier[TRACEPARENT_KEY] = span.context().traceparent()
+        elif isinstance(span, TraceContext):
+            carrier[TRACEPARENT_KEY] = span.traceparent()
+
+    def trace_extract(self, carrier: dict) -> TraceContext | None:
+        """Recover a propagated context (``trace_extract`` tracepoint)."""
+        return TraceContext.parse(carrier.get(TRACEPARENT_KEY))
 
     # ------------------------------------------------------------------
     # Convenience renderings
@@ -145,7 +169,9 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "SpanTracker",
+    "TRACEPARENT_KEY",
     "Telemetry",
+    "TraceContext",
     "metrics_document",
     "render_json",
     "render_prometheus",

@@ -1,0 +1,108 @@
+"""Chrome trace-event / Perfetto export of spans and profiler samples.
+
+``chrome.document(hub)`` renders the finished span forest as a Chrome
+trace-event JSON object (the ``chrome://tracing`` / Perfetto format):
+one complete (``"ph": "X"``) event per span, grouped so the timeline
+reads like the cluster —
+
+* **pid** is the trace id: each logical request becomes one process
+  row, so a BFT batch shows the client, leader and every follower
+  stacked under a single request;
+* **tid** is the originating node/device label (assigned in first-use
+  order, which is deterministic), named via ``thread_name`` metadata
+  events;
+* **ts**/**dur** are virtual microseconds straight off the spans — the
+  trace-event format's native unit.
+
+With a profiler attached, each profiled key additionally becomes one
+event on a dedicated ``pid 0`` "profiler" row spanning its attributed
+virtual time, and the full profile document (including the
+nondeterministic host-CPU half) rides under ``otherData`` — viewers
+ignore unknown top-level keys per the trace-event spec.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.telemetry.critical_path import stage_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
+    from repro.telemetry.profiler import Profiler
+
+#: The profiler's synthetic process row.
+PROFILER_PID = 0
+
+
+def document(
+    hub: "Telemetry", profiler: "Profiler | None" = None
+) -> dict[str, Any]:
+    """Render *hub*'s finished spans (and optionally a profile) as a
+    trace-event JSON document."""
+    events: list[dict[str, Any]] = []
+    tids: dict[str, int] = {}
+
+    def tid_for(label: str) -> int:
+        if label not in tids:
+            tids[label] = len(tids) + 1
+        return tids[label]
+
+    for span in hub.spans.finished:
+        where = str(
+            span.labels.get("node")
+            or span.labels.get("device")
+            or span.labels.get("system")
+            or "-"
+        )
+        args: dict[str, Any] = {
+            "id": span.span_id,
+            "parent": span.parent_id,
+        }
+        args.update((k, str(v)) for k, v in sorted(span.labels.items()))
+        events.append({
+            "name": span.name,
+            "cat": stage_of(span.name),
+            "ph": "X",
+            "ts": round(span.start_us, 6),
+            "dur": round(span.duration_us, 6),
+            "pid": span.trace_id,
+            "tid": tid_for(where),
+            "args": args,
+        })
+    for label, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": PROFILER_PID,
+            "tid": tid,
+            "args": {"name": label},
+        })
+
+    doc: dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if profiler is not None:
+        cursor = 0.0
+        for key, stats in profiler.sim_report().items():
+            events.append({
+                "name": key,
+                "cat": "profile",
+                "ph": "X",
+                "ts": round(cursor, 6),
+                "dur": stats["sim_us"],
+                "pid": PROFILER_PID,
+                "tid": 0,
+                "args": {"events": stats["events"]},
+            })
+            cursor += stats["sim_us"]
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": PROFILER_PID,
+            "tid": 0,
+            "args": {"name": "profiler"},
+        })
+        doc["otherData"] = {"profile": profiler.document()}
+    return doc
+
+
+__all__ = ["PROFILER_PID", "document"]

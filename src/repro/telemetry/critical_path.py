@@ -1,0 +1,245 @@
+"""Critical-path analysis over causal span trees.
+
+With trace propagation on, every logical request — a single
+``auth_send`` or a full BFT batch — leaves one span tree behind,
+spanning every replica it touched (all spans share the root's trace
+id).  This module turns those trees into the paper's numbers:
+
+* :func:`critical_paths` — per request, the *longest causal chain*
+  that gated completion: the spine from the root down to the last span
+  to finish before the root closed, plus a Fig. 6-style stage
+  breakdown (post / dma / hmac / wire / rx_verify) computed from the
+  same tree.
+* :func:`summarize` — per-stage p50/p99/total across all requests.
+
+Everything here is a pure function of the finished-span list, which is
+itself a pure function of the seeded simulation — two runs of one seed
+render byte-identical documents.
+
+Gating rule.  The root span closes when the request completes (ACK,
+quorum commit); spans that finish *after* the root — straggler replies
+a quorum didn't need — are causally irrelevant to latency and are
+excluded by the ``end_us <= root.end_us`` filter.  Among the rest, the
+gating span is the one finishing last (ties to the highest span id,
+i.e. the most recently opened, which at equal timestamps is the
+deepest); the spine is its parent chain back to the root.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.spans import Span
+
+#: Fig. 6 stage taxonomy, in datapath order.
+STAGE_ORDER = ("post", "dma", "hmac", "wire", "rx_verify")
+
+
+def stage_of(name: str) -> str:
+    """Map a span name onto the Fig. 6 stage taxonomy.
+
+    The suffix convention is shared by the NIC datapath (``tnic.post``,
+    ``tnic.dma``, ``attest.hmac``, ``roce.tx``, ``roce.rx_verify``) and
+    the systems layer (``system.net_hop``, ``bft.rx_verify``); spans
+    outside the taxonomy (roots, replica handlers) map to ``other``.
+    """
+    if name.endswith(".post"):
+        return "post"
+    if name.endswith(".dma"):
+        return "dma"
+    if name.endswith(".hmac"):
+        return "hmac"
+    if name == "roce.tx" or name.endswith(".net_hop"):
+        return "wire"
+    if name.endswith(".rx_verify"):
+        return "rx_verify"
+    return "other"
+
+
+def assemble_traces(spans: Iterable["Span"]) -> dict[int, list["Span"]]:
+    """Group finished spans by trace id, each list in (start, id) order."""
+    traces: dict[int, list["Span"]] = {}
+    for span in spans:
+        if span.end_us is None or span.trace_id <= 0:
+            continue
+        traces.setdefault(span.trace_id, []).append(span)
+    for members in traces.values():
+        members.sort(key=lambda s: (s.start_us, s.span_id))
+    return traces
+
+
+def _span_entry(span: "Span") -> dict[str, Any]:
+    return {
+        "name": span.name,
+        "stage": stage_of(span.name),
+        "start_us": round(span.start_us, 6),
+        "end_us": round(span.end_us, 6),
+        "duration_us": round(span.duration_us, 6),
+    }
+
+
+def critical_path(members: list["Span"]) -> dict[str, Any] | None:
+    """Analyse one trace (the span list of a single trace id).
+
+    Returns None when the trace has no finished root — e.g. its root
+    was evicted from the bounded retention window — since without the
+    root there is no completion instant to gate against.
+    """
+    roots = [s for s in members if s.parent_id is None]
+    if not roots:
+        return None
+    root = min(roots, key=lambda s: (s.start_us, s.span_id))
+    horizon = root.end_us
+    candidates = [s for s in members if s.end_us <= horizon]
+    # The parent walk may pass through spans that outlive the root
+    # (e.g. an enclosing handler), so resolve parents over the whole
+    # trace; only the *gating* choice is horizon-filtered.
+    by_id = {s.span_id: s for s in members}
+    gating = max(candidates, key=lambda s: (s.end_us, s.span_id))
+
+    spine: list["Span"] = []
+    cursor: "Span" | None = gating
+    seen: set[int] = set()
+    while cursor is not None and cursor.span_id not in seen:
+        seen.add(cursor.span_id)
+        spine.append(cursor)
+        if cursor.span_id == root.span_id:
+            break
+        cursor = by_id.get(cursor.parent_id)
+    spine.reverse()
+    if spine[0].span_id != root.span_id:
+        # The gating span's ancestry left the retained window; fall
+        # back to the root alone rather than reporting a broken chain.
+        spine = [root]
+
+    stages = [
+        _span_entry(s)
+        for s in sorted(candidates, key=lambda s: (s.start_us, s.span_id))
+        if stage_of(s.name) != "other"
+    ]
+    breakdown: dict[str, float] = {}
+    for entry in stages:
+        breakdown[entry["stage"]] = (
+            breakdown.get(entry["stage"], 0.0) + entry["duration_us"]
+        )
+    return {
+        "trace": root.trace_id,
+        "root": root.name,
+        "labels": {k: str(v) for k, v in sorted(root.labels.items())},
+        "start_us": round(root.start_us, 6),
+        "end_us": round(root.end_us, 6),
+        "duration_us": round(root.duration_us, 6),
+        "spine": [_span_entry(s) for s in spine],
+        "stages": stages,
+        "breakdown": {
+            stage: round(breakdown[stage], 6)
+            for stage in STAGE_ORDER
+            if stage in breakdown
+        },
+    }
+
+
+def critical_paths(spans: Iterable["Span"]) -> list[dict[str, Any]]:
+    """One critical-path record per analysable trace, trace-id order."""
+    traces = assemble_traces(spans)
+    paths = []
+    for trace_id in sorted(traces):
+        record = critical_path(traces[trace_id])
+        if record is not None:
+            paths.append(record)
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# Cross-request summary
+# ---------------------------------------------------------------------------
+
+
+def _percentile(ordered: list[float], p: float) -> float:
+    index = min(int(len(ordered) * p), len(ordered) - 1)
+    return ordered[index]
+
+
+def summarize(paths: list[dict[str, Any]]) -> dict[str, Any]:
+    """Per-stage p50/p99 across all requests (plus request latency)."""
+    by_stage: dict[str, list[float]] = {}
+    requests = sorted(p["duration_us"] for p in paths)
+    for path in paths:
+        for entry in path["stages"]:
+            by_stage.setdefault(entry["stage"], []).append(
+                entry["duration_us"]
+            )
+    stages = {}
+    for stage in STAGE_ORDER:
+        if stage not in by_stage:
+            continue
+        values = sorted(by_stage[stage])
+        stages[stage] = {
+            "count": len(values),
+            "p50_us": round(_percentile(values, 0.50), 6),
+            "p99_us": round(_percentile(values, 0.99), 6),
+            "total_us": round(sum(values), 6),
+        }
+    summary: dict[str, Any] = {"requests": len(paths), "stages": stages}
+    if requests:
+        summary["request_p50_us"] = round(_percentile(requests, 0.50), 6)
+        summary["request_p99_us"] = round(_percentile(requests, 0.99), 6)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Text renderings (the `python -m repro trace` views)
+# ---------------------------------------------------------------------------
+
+
+def render_critical_paths(paths: list[dict[str, Any]]) -> str:
+    lines: list[str] = []
+    for path in paths:
+        labels = " ".join(f"{k}={v}" for k, v in path["labels"].items())
+        lines.append(
+            f"trace {path['trace']}: {path['root']} "
+            f"{path['duration_us']:.2f}us"
+            + (f" [{labels}]" if labels else "")
+        )
+        for hop in path["spine"]:
+            lines.append(
+                f"  {hop['name']} ({hop['stage']}) "
+                f"[{hop['start_us']:.2f} → {hop['end_us']:.2f}] "
+                f"{hop['duration_us']:.2f}us"
+            )
+        if path["breakdown"]:
+            parts = " ".join(
+                f"{stage}={total:.2f}us"
+                for stage, total in path["breakdown"].items()
+            )
+            lines.append(f"  stages: {parts}")
+    return "\n".join(lines)
+
+
+def render_summary(summary: dict[str, Any]) -> str:
+    lines = [f"requests: {summary['requests']}"]
+    if "request_p50_us" in summary:
+        lines.append(
+            f"request latency: p50={summary['request_p50_us']:.2f}us "
+            f"p99={summary['request_p99_us']:.2f}us"
+        )
+    for stage, stats in summary["stages"].items():
+        lines.append(
+            f"  {stage}: n={stats['count']} "
+            f"p50={stats['p50_us']:.2f}us p99={stats['p99_us']:.2f}us "
+            f"total={stats['total_us']:.2f}us"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "STAGE_ORDER",
+    "assemble_traces",
+    "critical_path",
+    "critical_paths",
+    "render_critical_paths",
+    "render_summary",
+    "stage_of",
+    "summarize",
+]

@@ -35,6 +35,7 @@ def metrics_document(hub: "Telemetry") -> dict[str, Any]:
             "finished": len(hub.spans.finished),
             "open": len(hub.spans.open_spans),
             "evicted": hub.spans.evicted,
+            "sampled_out": hub.spans.sampled_out,
         },
         "flight_recorder": {
             "snapshots": len(hub.recorder),
@@ -51,10 +52,22 @@ def _prom_name(name: str) -> str:
     return "tnic_" + _PROM_SANITISE.sub("_", name)
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec:
+    backslash, double quote and newline must be backslash-escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(key: tuple[tuple[str, str], ...]) -> str:
     if not key:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+    return (
+        "{"
+        + ",".join(f'{k}="{_prom_escape(str(v))}"' for k, v in key)
+        + "}"
+    )
 
 
 def render_prometheus(hub: "Telemetry") -> str:

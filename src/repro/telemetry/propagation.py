@@ -1,0 +1,109 @@
+"""Causal trace-context propagation across replicas.
+
+One logical request crosses many components: the host posts a work
+request, the device DMAs and attests it, the RoCE kernel puts it on the
+wire, the *receiving* replica verifies and handles it, and (in the
+distributed systems) further replicas attest and forward.  Per-node
+span trees cannot answer "which hop dominates p99 for this request" —
+that needs every span of one request, on every replica, stitched into a
+single tree.
+
+:class:`TraceContext` is the stitch: a W3C-``traceparent``-style triple
+``(trace_id, span_id, sampled)`` serialised into the free-form metadata
+dicts that already travel with simulated packets and system messages.
+Trusted packages never import this module — they call the
+:func:`repro.sim.instrument.trace_inject` / ``trace_extract``
+tracepoints, which treat the context as an opaque value — so the BND001
+boundary stays intact, exactly like real NIC firmware forwarding a
+trace header it does not interpret.
+
+Identifiers are small deterministic integers drawn from the span
+tracker's counters (never wall-clock or os.urandom), so two runs of a
+seeded scenario produce byte-identical trace trees.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Key under which the serialised context rides in carrier dicts
+#: (``Packet.meta``, system-message envelopes).
+TRACEPARENT_KEY = "traceparent"
+
+#: ``version-trace_id-span_id-flags`` with W3C field widths (16-byte
+#: trace id, 8-byte span id, hex-encoded).
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-(0[01])$"
+)
+
+
+class TraceContext:
+    """An immutable (trace_id, span_id, sampled) triple."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: int, span_id: int, sampled: bool) -> None:
+        object.__setattr__(self, "trace_id", trace_id)
+        object.__setattr__(self, "span_id", span_id)
+        object.__setattr__(self, "sampled", sampled)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("TraceContext is immutable")
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceContext(trace_id={self.trace_id}, "
+            f"span_id={self.span_id}, sampled={self.sampled})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+            and self.sampled == other.sampled
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.sampled))
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def traceparent(self) -> str:
+        """Serialise as a W3C-style ``traceparent`` header value."""
+        return (
+            f"00-{self.trace_id:032x}-{self.span_id:016x}"
+            f"-{'01' if self.sampled else '00'}"
+        )
+
+    @classmethod
+    def parse(cls, header: object) -> "TraceContext | None":
+        """Parse a ``traceparent`` value; None on anything malformed.
+
+        Like real trace propagation, a corrupt or missing header never
+        fails the datapath — the receiver simply starts a fresh trace.
+        """
+        if not isinstance(header, str):
+            return None
+        match = _TRACEPARENT_RE.match(header)
+        if match is None:
+            return None
+        return cls(
+            trace_id=int(match.group(1), 16),
+            span_id=int(match.group(2), 16),
+            sampled=match.group(3) == "01",
+        )
+
+
+def inject(carrier: dict, context: TraceContext) -> None:
+    """Write *context* into *carrier* under :data:`TRACEPARENT_KEY`."""
+    carrier[TRACEPARENT_KEY] = context.traceparent()
+
+
+def extract(carrier: dict) -> TraceContext | None:
+    """Read a context out of *carrier*, if one rides there."""
+    return TraceContext.parse(carrier.get(TRACEPARENT_KEY))
+
+
+__all__ = ["TRACEPARENT_KEY", "TraceContext", "extract", "inject"]

@@ -21,8 +21,10 @@ from dataclasses import dataclass, field
 from itertools import count as _counter
 from typing import TYPE_CHECKING, Any
 
+from repro.sim.rng import DeterministicRng
 from repro.sim.trace import emit
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.propagation import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.clock import Simulator
@@ -39,6 +41,14 @@ class Span:
     start_us: float
     labels: dict[str, Any] = field(default_factory=dict)
     end_us: float | None = None
+    #: Logical-request identity: every span of one request — across
+    #: every replica it touches — shares one trace id.  Propagated
+    #: between nodes as a serialised :class:`TraceContext`.
+    trace_id: int = 0
+    #: Head-based sampling decision, made once at the trace root and
+    #: inherited by every descendant (local children and remote
+    #: continuations alike).  Unsampled spans are never retained.
+    sampled: bool = True
 
     @property
     def open(self) -> bool:
@@ -66,10 +76,15 @@ class Span:
             self.labels.update(labels)
         self.tracker.finish(self)
 
+    def context(self) -> TraceContext:
+        """This span's identity as a propagatable trace context."""
+        return TraceContext(self.trace_id, self.span_id, self.sampled)
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "id": self.span_id,
             "parent": self.parent_id,
+            "trace": self.trace_id,
             "name": self.name,
             "start_us": round(self.start_us, 6),
             "end_us": round(self.end_us, 6) if self.end_us is not None else None,
@@ -95,25 +110,60 @@ class SpanTracker:
         sim: "Simulator",
         registry: MetricsRegistry,
         capacity: int = 4096,
+        sample_every: int = 1,
+        sampling_seed: int = 0,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
         self.sim = sim
         self.registry = registry
         self.capacity = capacity
         self._ids = _counter(1)
+        self._trace_ids = _counter(1)
         self.finished: list[Span] = []
         self.open_spans: dict[int, Span] = {}
         self.evicted = 0
+        #: Finished spans discarded because their trace was unsampled.
+        self.sampled_out = 0
+        self.sample_every = sample_every
+        # With sample_every == 1 the rng is never consulted, so existing
+        # seeded scenarios draw exactly the streams they always did.
+        self._sampling_rng = (
+            None if sample_every == 1
+            else DeterministicRng(sampling_seed, "trace-sampling")
+        )
 
-    def begin(self, name: str, parent: Span | None = None, **labels: Any) -> Span:
+    def begin(
+        self,
+        name: str,
+        parent: Span | TraceContext | None = None,
+        **labels: Any,
+    ) -> Span:
+        """Open a span; *parent* may be a local :class:`Span`, a
+        :class:`TraceContext` extracted from an inbound carrier (the
+        cross-replica case), or None to root a new trace."""
+        if parent is None:
+            trace_id = next(self._trace_ids)
+            sampled = (
+                self._sampling_rng is None
+                or self._sampling_rng.randrange(0, self.sample_every) == 0
+            )
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            sampled = parent.sampled
+            parent_id = parent.span_id
         span = Span(
             tracker=self,
             span_id=next(self._ids),
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=parent_id,
             name=name,
             start_us=self.sim.now,
             labels=dict(labels),
+            trace_id=trace_id,
+            sampled=sampled,
         )
         self.open_spans[span.span_id] = span
         return span
@@ -121,6 +171,12 @@ class SpanTracker:
     def finish(self, span: Span) -> None:
         span.end_us = self.sim.now
         self.open_spans.pop(span.span_id, None)
+        if not span.sampled:
+            # Head-based sampling: the whole tree was decided at the
+            # root, so an unsampled span is dropped wholesale — no
+            # retention, no histogram feed, no trace record.
+            self.sampled_out += 1
+            return
         if len(self.finished) >= self.capacity:
             del self.finished[0]
             self.evicted += 1
@@ -129,7 +185,7 @@ class SpanTracker:
         emit(
             self.sim, f"span.{span.name}",
             f"{span.duration_us:.2f}us id={span.span_id}",
-            parent=span.parent_id,
+            parent=span.parent_id, trace=span.trace_id,
         )
 
     # ------------------------------------------------------------------

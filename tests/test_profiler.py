@@ -1,0 +1,147 @@
+"""The deterministic profiler: attribution, the two-ledger split, and
+the zero-cost-when-detached contract (mirrors test_instrument_gate.py)."""
+
+import json
+
+import pytest
+
+from repro.api import Cluster, auth_send
+from repro.cli import _instrumented_workload
+from repro.telemetry.exporters import metrics_document
+from repro.telemetry.profiler import Profiler, _callsite
+
+
+def _run_auth_round(cluster: Cluster) -> None:
+    conn, _ = cluster.connect("a", "b")
+    cluster.run(auth_send(conn, b"profiler-test"))
+    cluster.run()
+
+
+class FakeClock:
+    """Deterministic host-clock stand-in: advances 1000ns per read."""
+
+    def __init__(self):
+        self.now_ns = 0
+
+    def __call__(self) -> int:
+        self.now_ns += 1000
+        return self.now_ns
+
+
+@pytest.fixture
+def account_spy(monkeypatch):
+    calls = {"account": 0}
+    real_account = Profiler.account
+
+    def spy(self, *args, **kwargs):
+        calls["account"] += 1
+        return real_account(self, *args, **kwargs)
+
+    monkeypatch.setattr(Profiler, "account", spy)
+    return calls
+
+
+def test_no_profiler_work_when_detached(account_spy):
+    cluster = Cluster(["a", "b"])
+    assert cluster.sim.profiler is None
+    _run_auth_round(cluster)
+    # Not merely "empty ledgers": the accounting hook never ran.
+    assert account_spy["account"] == 0
+
+
+def test_account_runs_when_attached(account_spy):
+    cluster = Cluster(["a", "b"])
+    profiler = Profiler.attach(cluster.sim, clock=FakeClock())
+    _run_auth_round(cluster)
+    assert account_spy["account"] > 0
+    assert sum(profiler.events.values()) == account_spy["account"]
+
+
+def test_detach_restores_the_noop_path(account_spy):
+    cluster = Cluster(["a", "b"])
+    profiler = Profiler.attach(cluster.sim, clock=FakeClock())
+    profiler.detach()
+    assert cluster.sim.profiler is None
+    _run_auth_round(cluster)
+    assert account_spy["account"] == 0
+
+
+def test_sim_ledger_is_deterministic_across_runs():
+    reports = []
+    for _ in range(2):
+        cluster = Cluster(["a", "b"], seed=5)
+        profiler = Profiler.attach(cluster.sim, clock=FakeClock())
+        _run_auth_round(cluster)
+        reports.append(json.dumps(profiler.sim_report(), sort_keys=True))
+    assert reports[0] == reports[1]
+
+
+def test_sim_time_sums_to_final_clock():
+    cluster = Cluster(["a", "b"], seed=1)
+    profiler = Profiler.attach(cluster.sim, clock=FakeClock())
+    _run_auth_round(cluster)
+    assert sum(profiler.sim_us.values()) == pytest.approx(cluster.sim.now)
+
+
+def test_callsite_attribution_names_process_generators():
+    cluster = Cluster(["a", "b"], seed=0)
+    profiler = Profiler.attach(cluster.sim, clock=FakeClock())
+    _run_auth_round(cluster)
+    keys = set(profiler.events)
+    # Every key is EventType:callsite; process resumptions carry the
+    # generator's qualified name, not a kernel-internal frame.
+    assert all(":" in key for key in keys)
+    assert any(key.startswith("Completion:") or key.startswith("Event:")
+               for key in keys)
+
+
+def test_callsite_fallbacks():
+    assert _callsite(object(), []) == "<idle>"
+
+    def plain(event):
+        pass
+
+    assert _callsite(object(), [plain]) == (
+        "test_callsite_fallbacks.<locals>.plain"
+    )
+
+
+def test_host_ledger_stays_out_of_the_metrics_document():
+    cluster, hub = _instrumented_workload(2, seed=0, tamper=False,
+                                          profile=True)
+    document = json.dumps(metrics_document(hub), sort_keys=True)
+    assert "host_cpu_ns" not in document
+    assert "perf_counter" not in document
+    profile = cluster.sim.profiler.document()
+    assert set(profile) == {
+        "clock_us", "events_total", "host_cpu_ns", "host_cpu_ns_total",
+        "sim",
+    }
+    assert profile["events_total"] == sum(
+        row["events"] for row in profile["sim"].values()
+    )
+    assert profile["host_cpu_ns_total"] == sum(
+        profile["host_cpu_ns"].values()
+    )
+
+
+def test_fake_clock_host_ledger_counts_reads():
+    cluster = Cluster(["a", "b"], seed=0)
+    clock = FakeClock()
+    profiler = Profiler.attach(cluster.sim, clock=clock)
+    _run_auth_round(cluster)
+    total = sum(profiler.host_ns.values())
+    events = sum(profiler.events.values())
+    # The kernel brackets each event with two clock reads 1000ns apart.
+    assert total == events * 1000
+
+
+def test_profile_artifact_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "profile.json"
+    assert main(["trace", "--ops", "2", "--profile", str(out)]) == 0
+    capsys.readouterr()
+    profile = json.loads(out.read_text())
+    assert profile["events_total"] > 0
+    assert "sim" in profile and "host_cpu_ns" in profile

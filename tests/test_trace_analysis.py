@@ -1,0 +1,178 @@
+"""Chrome trace-event export shape and the BENCH artifact comparator."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.cli import _instrumented_bft, _instrumented_workload, main
+from repro.telemetry import chrome
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "benchmarks"))
+
+from run_all import _direction, _jsonable, compare  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def _validate_trace_events(document: dict) -> list[dict]:
+    """Assert the trace-event schema shape; return the X events."""
+    assert set(document) >= {"traceEvents", "displayTimeUnit"}
+    assert document["displayTimeUnit"] == "ms"
+    complete = []
+    for event in document["traceEvents"]:
+        assert {"name", "ph", "pid", "tid"} <= set(event)
+        assert event["ph"] in ("X", "M")
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert {"cat", "ts", "dur", "args"} <= set(event)
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            complete.append(event)
+        else:
+            assert "name" in event["args"]
+    return complete
+
+
+def test_chrome_export_schema_shape():
+    _, hub = _instrumented_workload(3, seed=0, tamper=False)
+    document = chrome.document(hub)
+    complete = _validate_trace_events(document)
+    assert len(complete) == len(hub.spans.finished)
+    # pid groups by request: one process row per trace id.
+    assert {e["pid"] for e in complete} == {
+        s.trace_id for s in hub.spans.finished
+    }
+    names = {e["name"] for e in complete}
+    assert {"request.auth_send", "tnic.post", "roce.tx"} <= names
+    # Span args carry the tree structure for viewers.
+    roots = [e for e in complete if e["args"]["parent"] is None]
+    assert len(roots) == 3
+
+
+def test_chrome_export_thread_metadata_names_nodes():
+    system, hub = _instrumented_bft(2, seed=3)
+    document = chrome.document(hub)
+    threads = [e for e in document["traceEvents"]
+               if e["ph"] == "M" and e["name"] == "thread_name"]
+    named = {e["args"]["name"] for e in threads}
+    assert system.leader_name in named
+    assert set(system.followers) <= named
+    # tids are unique and deterministically assigned in first-use order.
+    tids = [e["tid"] for e in threads]
+    assert len(tids) == len(set(tids))
+
+
+def test_chrome_export_includes_profiler_rows():
+    cluster, hub = _instrumented_workload(2, seed=0, tamper=False,
+                                          profile=True)
+    document = chrome.document(hub, profiler=cluster.sim.profiler)
+    _validate_trace_events(document)
+    rows = [e for e in document["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == chrome.PROFILER_PID]
+    assert rows
+    # Profiler rows tile the timeline: each starts where the last ended.
+    cursor = 0.0
+    for row in rows:
+        assert row["ts"] == pytest.approx(cursor, abs=1e-6)
+        cursor += row["dur"]
+    assert "otherData" in document
+    assert set(document["otherData"]["profile"]) == {
+        "clock_us", "events_total", "host_cpu_ns", "host_cpu_ns_total",
+        "sim",
+    }
+
+
+def test_chrome_export_deterministic_without_profiler():
+    documents = []
+    for _ in range(2):
+        _, hub = _instrumented_workload(3, seed=2, tamper=False)
+        documents.append(json.dumps(chrome.document(hub), sort_keys=True))
+    assert documents[0] == documents[1]
+
+
+def test_chrome_export_cli(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "--scenario", "bft", "--ops", "2", "--seed", "3",
+                 "--export", "chrome", "--output", str(out)]) == 0
+    capsys.readouterr()
+    document = json.loads(out.read_text())
+    complete = _validate_trace_events(document)
+    assert any(e["name"] == "bft.request" for e in complete)
+
+
+# ----------------------------------------------------------------------
+# BENCH artifact comparison
+# ----------------------------------------------------------------------
+def test_compare_identical_documents_is_quiet():
+    doc = {"data": {"events_per_second": 1000, "latency_us": 12.5}}
+    assert compare(doc, doc) == []
+
+
+def test_compare_flags_direction_aware_regressions():
+    old = {"data": {"events_per_second": 1000, "latency_us": 10.0,
+                    "label": "x"}}
+    new = {"data": {"events_per_second": 800, "latency_us": 13.0,
+                    "label": "x"}}
+    findings = compare(old, new)
+    by_path = {f["path"]: f for f in findings}
+    assert by_path["data.events_per_second"]["regression"] is True
+    assert by_path["data.latency_us"]["regression"] is True
+
+
+def test_compare_improvements_are_changes_not_regressions():
+    old = {"throughput_ops": 100, "p99_us": 50.0}
+    new = {"throughput_ops": 150, "p99_us": 30.0}
+    findings = compare(old, new)
+    assert len(findings) == 2
+    assert not any(f["regression"] for f in findings)
+
+
+def test_compare_threshold_gates_noise():
+    old = {"latency_us": 100.0}
+    new = {"latency_us": 105.0}
+    assert compare(old, new, threshold=0.10) == []
+    assert len(compare(old, new, threshold=0.01)) == 1
+
+
+def test_compare_missing_leaf_is_a_regression():
+    old = {"data": {"kept": 1, "dropped_us": 2.0}}
+    new = {"data": {"kept": 1}}
+    findings = compare(old, new)
+    assert len(findings) == 1
+    assert findings[0]["path"] == "data.dropped_us"
+    assert findings[0]["regression"] is True
+    assert findings[0]["new"] is None
+
+
+def test_direction_heuristics():
+    assert _direction("data.events_per_second") == "higher"
+    assert _direction("cache.hit_rate") == "higher"
+    assert _direction("data.p99_us") == "lower"
+    assert _direction("spans.evicted") == "lower"
+    assert _direction("data.label") == "neutral"
+
+
+def test_jsonable_handles_benchmark_result_shapes():
+    import dataclasses
+
+    @dataclasses.dataclass
+    class Breakdown:
+        compute_us: float
+        transfer_us: float
+
+    value = {
+        64: Breakdown(1.23456789, 2.0),
+        "names": ("a", "b"),
+        "flags": {True, False},
+    }
+    out = _jsonable(value)
+    assert out == {
+        "64": {"compute_us": 1.234568, "transfer_us": 2.0},
+        "names": ["a", "b"],
+        "flags": [False, True],
+    }
+    assert json.dumps(out)  # plain JSON, round-trippable

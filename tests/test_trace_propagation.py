@@ -1,0 +1,264 @@
+"""Causal cross-replica tracing: context propagation, trace trees,
+critical paths, and their determinism."""
+
+import json
+
+import pytest
+
+from repro.cli import _instrumented_bft, _instrumented_workload, main
+from repro.sim.clock import Simulator
+from repro.sim.instrument import NULL_SPAN, trace_extract, trace_inject
+from repro.telemetry import TRACEPARENT_KEY, Telemetry, TraceContext
+from repro.telemetry.critical_path import (
+    STAGE_ORDER,
+    critical_paths,
+    stage_of,
+    summarize,
+)
+
+
+# ----------------------------------------------------------------------
+# TraceContext / traceparent wire format
+# ----------------------------------------------------------------------
+def test_traceparent_roundtrip():
+    context = TraceContext(0xDEADBEEF, 42, True)
+    header = context.traceparent()
+    assert header == f"00-{0xDEADBEEF:032x}-{42:016x}-01"
+    parsed = TraceContext.parse(header)
+    assert parsed == context
+    assert parsed.sampled is True
+    unsampled = TraceContext(1, 2, False)
+    assert TraceContext.parse(unsampled.traceparent()) == unsampled
+
+
+@pytest.mark.parametrize("garbage", [
+    None,
+    "",
+    "garbage",
+    "01-" + "0" * 32 + "-" + "0" * 16 + "-01",  # wrong version
+    "00-xyz-abc-01",
+    "00-" + "0" * 31 + "-" + "0" * 16 + "-01",  # short trace id
+    "00-" + "0" * 32 + "-" + "0" * 16 + "-02",  # bad flags
+    1234,
+])
+def test_traceparent_rejects_garbage(garbage):
+    assert TraceContext.parse(garbage) is None
+
+
+def test_trace_context_is_immutable():
+    context = TraceContext(1, 2, True)
+    with pytest.raises(AttributeError):
+        context.trace_id = 9
+
+
+# ----------------------------------------------------------------------
+# Tracepoints: detached behaviour
+# ----------------------------------------------------------------------
+def test_inject_extract_are_noops_when_detached():
+    sim = Simulator()
+    carrier = {}
+    trace_inject(sim, carrier, NULL_SPAN)
+    assert carrier == {}
+    assert trace_extract(sim, {TRACEPARENT_KEY: "00-" + "0" * 31 + "1-"
+                               + "0" * 15 + "1-01"}) is None
+
+
+def test_inject_ignores_null_span_with_hub_attached():
+    sim = Simulator()
+    Telemetry.attach(sim)
+    carrier = {}
+    trace_inject(sim, carrier, NULL_SPAN)
+    assert carrier == {}
+    trace_inject(sim, carrier, None)
+    assert carrier == {}
+
+
+def test_inject_extract_roundtrip_through_hub():
+    sim = Simulator()
+    hub = Telemetry.attach(sim)
+    span = hub.span_begin("request.auth_send")
+    carrier = {}
+    trace_inject(sim, carrier, span)
+    assert TRACEPARENT_KEY in carrier
+    context = trace_extract(sim, carrier)
+    assert context.trace_id == span.trace_id
+    assert context.span_id == span.span_id
+    child = hub.span_begin("tnic.post", parent=context)
+    assert child.trace_id == span.trace_id
+    assert child.parent_id == span.span_id
+
+
+# ----------------------------------------------------------------------
+# Cross-layer propagation: the send/recv datapath
+# ----------------------------------------------------------------------
+def test_sendrecv_spans_share_one_trace_per_request():
+    _, hub = _instrumented_workload(3, seed=0, tamper=False)
+    roots = [s for s in hub.spans.finished
+             if s.name == "request.auth_send"]
+    assert len(roots) == 3
+    for root in roots:
+        members = [s for s in hub.spans.finished
+                   if s.trace_id == root.trace_id]
+        names = {s.name for s in members}
+        # The full Fig. 6 decomposition joined one trace — including
+        # the *receiving* node's verification stage.
+        assert {"request.auth_send", "tnic.post", "tnic.tx", "tnic.dma",
+                "attest.hmac", "roce.tx", "roce.rx_verify"} <= names
+        assert root.parent_id is None
+        for span in members:
+            if span is not root:
+                assert span.parent_id is not None
+
+
+def test_sendrecv_critical_path_stage_order_matches_fig06():
+    _, hub = _instrumented_workload(4, seed=1, tamper=False)
+    paths = critical_paths(hub.spans.finished)
+    requests = [p for p in paths if p["root"] == "request.auth_send"]
+    assert len(requests) == 4
+    for path in requests:
+        stages = [entry["stage"] for entry in path["stages"]]
+        # Deduplicate preserving first-appearance order.
+        order = list(dict.fromkeys(stages))
+        assert order == list(STAGE_ORDER)
+        assert set(path["breakdown"]) == set(STAGE_ORDER)
+        # The spine runs root -> gating span in causal order.
+        spine = path["spine"]
+        assert spine[0]["name"] == "request.auth_send"
+        assert all(a["start_us"] <= b["start_us"]
+                   for a, b in zip(spine, spine[1:]))
+
+
+# ----------------------------------------------------------------------
+# Cross-replica propagation: the BFT cluster
+# ----------------------------------------------------------------------
+def test_bft_request_traces_span_all_replicas():
+    system, hub = _instrumented_bft(4, seed=3)
+    roots = [s for s in hub.spans.finished if s.name == "bft.request"]
+    assert len(roots) == 4
+    for root in roots:
+        members = [s for s in hub.spans.finished
+                   if s.trace_id == root.trace_id]
+        names = {s.name for s in members}
+        assert {"bft.request", "system.net_hop", "bft.leader",
+                "attest.hmac", "bft.follower", "bft.rx_verify"} <= names
+        # Spans from leader AND every follower joined the trace.
+        nodes = {s.labels.get("node") for s in members
+                 if "node" in s.labels}
+        assert nodes == {system.leader_name, *system.followers}
+
+
+def test_bft_critical_path_alternates_hops_and_replica_work():
+    _, hub = _instrumented_bft(4, seed=3)
+    paths = critical_paths(hub.spans.finished)
+    committed = [p for p in paths if p["root"] == "bft.request"
+                 and p["labels"].get("status") == "committed"]
+    assert len(committed) == 4
+    for path in committed:
+        spine_names = [hop["name"] for hop in path["spine"]]
+        # client -> leader hop -> leader -> follower hop -> follower
+        # -> reply hop: the protocol's causal chain.
+        assert spine_names == [
+            "bft.request", "system.net_hop", "bft.leader",
+            "system.net_hop", "bft.follower", "system.net_hop",
+        ]
+        assert {"hmac", "wire", "rx_verify"} <= set(path["breakdown"])
+        # Stage instances along the chain keep taxonomy order within
+        # each replica: verification precedes the replica's own attest.
+        follower_stages = [e for e in path["stages"]
+                           if e["name"] in ("bft.rx_verify", "attest.hmac")]
+        assert follower_stages, "stage entries missing"
+
+
+def test_bft_critical_paths_byte_identical_across_runs():
+    documents = []
+    for _ in range(2):
+        _, hub = _instrumented_bft(5, seed=7)
+        paths = critical_paths(hub.spans.finished)
+        documents.append(json.dumps(
+            {"critical_paths": paths, "summary": summarize(paths)},
+            indent=2, sort_keys=True,
+        ))
+    assert documents[0] == documents[1]
+
+
+def test_sendrecv_trace_trees_byte_identical_across_runs():
+    trees = []
+    for _ in range(2):
+        _, hub = _instrumented_workload(5, seed=11, tamper=False)
+        trees.append(hub.spans.tree())
+    assert trees[0] == trees[1]
+    assert "request.auth_send" in trees[0]
+
+
+# ----------------------------------------------------------------------
+# Deterministic head-based sampling
+# ----------------------------------------------------------------------
+def test_sampling_drops_whole_traces_deterministically():
+    def run():
+        from repro.api import Cluster, auth_send
+        from repro.api.ops import recv
+
+        cluster = Cluster(["alice", "bob"], seed=0)
+        hub = Telemetry.attach(cluster.sim, sample_every=2,
+                               sampling_seed=9)
+        conn_a, conn_b = cluster.connect("alice", "bob")
+        for i in range(8):
+            cluster.run(auth_send(conn_a, b"x" * 64))
+            cluster.run()
+            recv(conn_b)
+        return hub
+
+    hub_a, hub_b = run(), run()
+    assert hub_a.spans.sampled_out > 0
+    kept = {s.trace_id for s in hub_a.spans.finished
+            if s.name == "request.auth_send"}
+    assert 0 < len(kept) < 8  # some kept, some dropped
+    # Unsampled traces vanish wholesale: no orphan descendants.
+    for span in hub_a.spans.finished:
+        assert span.sampled
+    assert hub_a.spans.tree() == hub_b.spans.tree()
+    assert hub_a.spans.sampled_out == hub_b.spans.sampled_out
+
+
+def test_default_sampling_keeps_everything():
+    _, hub = _instrumented_workload(2, seed=0, tamper=False)
+    assert hub.spans.sampled_out == 0
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_trace_cli_critical_path_deterministic(capsys):
+    outputs = []
+    for _ in range(2):
+        assert main(["trace", "--scenario", "bft", "--ops", "3",
+                     "--seed", "3", "--critical-path", "--summary"]) == 0
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1]
+    assert "bft.request" in outputs[0]
+    assert "stages:" in outputs[0]
+    assert "requests: 3" in outputs[0]
+
+
+def test_trace_cli_analysis_document(tmp_path, capsys):
+    out = tmp_path / "analysis.json"
+    assert main(["trace", "--ops", "2", "--critical-path",
+                 "--output", str(out)]) == 0
+    capsys.readouterr()
+    document = json.loads(out.read_text())
+    assert set(document) == {"critical_paths", "summary"}
+    assert document["summary"]["requests"] == 2
+    for path in document["critical_paths"]:
+        assert {"trace", "root", "spine", "stages",
+                "breakdown"} <= set(path)
+
+
+def test_stage_of_taxonomy():
+    assert stage_of("tnic.post") == "post"
+    assert stage_of("tnic.dma") == "dma"
+    assert stage_of("attest.hmac") == "hmac"
+    assert stage_of("roce.tx") == "wire"
+    assert stage_of("system.net_hop") == "wire"
+    assert stage_of("roce.rx_verify") == "rx_verify"
+    assert stage_of("bft.rx_verify") == "rx_verify"
+    assert stage_of("bft.request") == "other"
