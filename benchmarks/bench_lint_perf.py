@@ -6,8 +6,10 @@ latency is part of the developer loop; the acceptance budget is a full
 interprocedural taint engine dominates (project fixpoint + a final
 recording pass over every function), so its share is reported
 separately alongside the fixpoint pass count; the per-generator
-interference pass (RACE001–RACE003) is timed too, to keep its cost
-honest as the tree grows.
+interference pass (RACE001–RACE003), the ownership pass (SHD001–003)
+and the hot-path pass (PERF001–006, reachability closure plus the
+per-function walk) are timed too, to keep their cost honest as the
+tree grows.
 """
 
 import time
@@ -15,6 +17,7 @@ import time
 from conftest import register_artefact
 
 from repro.analysis import (
+    HOTPATH_RULES,
     INTERFERENCE_RULES,
     OWNERSHIP_RULES,
     TNIC_MANIFEST,
@@ -23,6 +26,7 @@ from repro.analysis import (
     collect_findings,
     collect_sources,
     default_package_root,
+    hotpath_engine,
 )
 from repro.bench import Table
 
@@ -48,6 +52,13 @@ def test_lint_latency_within_budget(benchmark):
     collect_findings(sources, [cls() for cls in OWNERSHIP_RULES])
     ownership_s = time.perf_counter() - start
 
+    # Cold hot-path engine (reachability closure + per-function walk)
+    # plus all six PERF rules reading its cached findings.
+    start = time.perf_counter()
+    collect_findings(sources, [cls() for cls in HOTPATH_RULES])
+    hotpath_s = time.perf_counter() - start
+    hot_set = len(hotpath_engine(sources).hot_functions)
+
     start = time.perf_counter()
     findings = analyze_paths()
     full_s = time.perf_counter() - start
@@ -68,6 +79,8 @@ def test_lint_latency_within_budget(benchmark):
     table.add_row("taint engine (s)", f"{taint_s:.2f}")
     table.add_row("interference pass (s)", f"{interference_s:.2f}")
     table.add_row("ownership pass (s)", f"{ownership_s:.2f}")
+    table.add_row("hot functions", str(hot_set))
+    table.add_row("hotpath pass (s)", f"{hotpath_s:.2f}")
     table.add_row("full lint (s)", f"{full_s:.2f}")
     table.add_row("budget (s)", f"{LINT_BUDGET_S:.1f}")
     register_artefact(
@@ -80,6 +93,8 @@ def test_lint_latency_within_budget(benchmark):
             "taint_engine_s": round(taint_s, 3),
             "interference_pass_s": round(interference_s, 3),
             "ownership_pass_s": round(ownership_s, 3),
+            "hot_functions": hot_set,
+            "hotpath_pass_s": round(hotpath_s, 3),
             "full_lint_s": round(full_s, 3),
             "budget_s": LINT_BUDGET_S,
         },

@@ -13,10 +13,10 @@ Usage::
     PYTHONPATH=src python benchmarks/run_all.py --compare OLD.json NEW.json
 
 ``--check-regression`` exits non-zero when the timeout-storm rate falls
-below :data:`REGRESSION_FLOOR_EVENTS_PER_S` — the rate the *seed* kernel
-sustained on the CI class of machine, so any machine that runs the
-optimized kernel slower than the unoptimized one fails loudly.  CI runs
-this as the perf-smoke job.
+below :data:`REGRESSION_FLOOR_EVENTS_PER_S` — set ~25% under the
+slowest observed fast-path run, well above the seed kernel's 364,852
+events/s, so losing even half of the PR 4 fast-path win fails loudly.
+CI runs this as the perf-smoke job.
 
 ``--figures`` runs each named figure/table's ``measure()`` (no names:
 every registered one) and writes a canonical
@@ -49,10 +49,12 @@ from repro.bench.kernel_workloads import DEFAULT_EVENTS  # noqa: E402
 from repro.crypto import reset_verification_cache, verification_cache_stats
 from repro.systems.chain import ChainReplication
 
-#: The seed (pre-fast-path) kernel's timeout-storm rate on the CI
-#: machine class.  The optimized kernel targets >= 2x this; dipping
-#: below it means the fast path regressed to worse than no fast path.
-REGRESSION_FLOOR_EVENTS_PER_S = 364_852
+#: Timeout-storm floor for the CI perf smoke.  The seed (pre-fast-path)
+#: kernel measured 364,852 events/s; the PR 4 fast path sustains
+#: ~650k-1.07M depending on machine class and load.  500k keeps a ~25%
+#: margin below the slowest observed fast-path run while still tripping
+#: on any regression that claws back most of the fast-path win.
+REGRESSION_FLOOR_EVENTS_PER_S = 500_000
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 RESULTS_PATH = RESULTS_DIR / "BENCH_sim_kernel.json"
@@ -257,7 +259,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--check-regression", action="store_true",
-        help="exit 1 if timeout_storm falls below the seed-kernel floor",
+        help="exit 1 if timeout_storm falls below the fast-path floor",
     )
     parser.add_argument(
         "--rounds", type=int, default=5,
@@ -307,7 +309,7 @@ def main(argv: list[str] | None = None) -> int:
         if storm < REGRESSION_FLOOR_EVENTS_PER_S:
             print(
                 f"PERF REGRESSION: timeout_storm {storm:,} events/s is "
-                f"below the seed-kernel floor "
+                f"below the fast-path floor "
                 f"{REGRESSION_FLOOR_EVENTS_PER_S:,}",
                 file=sys.stderr,
             )

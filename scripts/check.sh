@@ -53,6 +53,55 @@ print(f"ok: no shardable system regressed ({shardable} shardable)")
 PY
 
 echo
+echo "== hotpath manifest (hot-path cost regression gate) =="
+# Counts are pre-waiver: an inline `# lint: ignore[PERF00x]` silences
+# the finding but the site still counts, so growth fails here even when
+# each new site is individually blessed.
+committed_hotpath=$(cat benchmarks/results/hotpath_manifest.json \
+    2>/dev/null || echo '{"totals": {}, "functions": {}}')
+python -m repro lint \
+    --hotpath-manifest benchmarks/results/hotpath_manifest.json
+COMMITTED_HOTPATH="$committed_hotpath" python - <<'PY'
+import json
+import os
+import sys
+
+committed = json.loads(os.environ["COMMITTED_HOTPATH"])
+with open("benchmarks/results/hotpath_manifest.json") as handle:
+    fresh = json.load(handle)
+problems = []
+for metric in ("allocation_sites", "ungated_emits"):
+    before = committed.get("totals", {}).get(metric)
+    after = fresh["totals"][metric]
+    if before is not None and after > before:
+        problems.append(f"{metric} grew {before} -> {after}")
+        was = committed.get("functions", {})
+        for qualname, stats in sorted(fresh["functions"].items()):
+            now = (
+                stats["allocation_sites"]
+                if metric == "allocation_sites"
+                else stats["emit_sites"]["ungated"]
+            )
+            old_stats = was.get(qualname, {})
+            old = (
+                old_stats.get("allocation_sites", 0)
+                if metric == "allocation_sites"
+                else old_stats.get("emit_sites", {}).get("ungated", 0)
+            )
+            if now > old:
+                problems.append(f"  {qualname}: {old} -> {now}")
+if problems:
+    sys.exit("hot-path cost regression:\n" + "\n".join(problems))
+totals = fresh["totals"]
+print(
+    "ok: hot path holds at "
+    f"{totals['allocation_sites']} allocation site(s), "
+    f"{totals['ungated_emits']} ungated emit(s) across "
+    f"{totals['functions']} function(s)"
+)
+PY
+
+echo
 echo "== schedule-perturbation harness (python -m repro sanitize) =="
 python -m repro sanitize --seeds 8 \
     --output benchmarks/results/sanitize_report.json

@@ -20,6 +20,9 @@ turns both into mechanically enforced, CI-gated properties:
 * :mod:`repro.analysis.ownership`   — SHD001–SHD003 shard-safety lint
   (ownership domains, cross-shard escapes) and the partition-manifest
   emitter for ROADMAP item 1's parallel engine;
+* :mod:`repro.analysis.hotpath`     — PERF001–PERF006 hot-path cost
+  lint (interprocedural reachability from the kernel entry points) and
+  the hot-path manifest emitter gated in ``scripts/check.sh``;
 * :mod:`repro.analysis.report`      — text/JSON/SARIF rendering, TCB
   accounting.
 
@@ -47,6 +50,19 @@ from repro.analysis.dataflow import (
     TaintFlow,
     TaintManifest,
     analyze_dataflow,
+)
+from repro.analysis.hotpath import (
+    HOTPATH_RULES,
+    HotAllocationRule,
+    HotPathEngine,
+    HotPathManifest,
+    HotSlotsRule,
+    HotTryExceptRule,
+    LoopInvariantLookupRule,
+    RawCryptoRule,
+    UngatedEmitRule,
+    hotpath_engine,
+    hotpath_manifest,
 )
 from repro.analysis.interference import (
     INTERFERENCE_RULES,
@@ -99,11 +115,19 @@ __all__ = [
     "Baseline",
     "CrossReplicaCallRule",
     "Finding",
+    "HOTPATH_RULES",
+    "HotAllocationRule",
+    "HotPathEngine",
+    "HotPathManifest",
+    "HotSlotsRule",
+    "HotTryExceptRule",
     "INTERFERENCE_RULES",
+    "LoopInvariantLookupRule",
     "ModuleMutableMutationRule",
     "OWNERSHIP_RULES",
     "OwnershipEngine",
     "ProjectRule",
+    "RawCryptoRule",
     "ReplicaEscapeRule",
     "Rule",
     "SharedGlobalResidencyRule",
@@ -118,6 +142,7 @@ __all__ = [
     "TaintManifest",
     "TcbReport",
     "TrustedBoundaryRule",
+    "UngatedEmitRule",
     "YieldSpanningRmwRule",
     "analyze_dataflow",
     "analyze_paths",
@@ -130,6 +155,8 @@ __all__ = [
     "default_package_root",
     "default_rules",
     "default_tcb_artifact_path",
+    "hotpath_engine",
+    "hotpath_manifest",
     "import_graph",
     "is_trusted",
     "parse_file",

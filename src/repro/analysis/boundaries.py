@@ -67,6 +67,16 @@ class TrustedBoundaryRule(ProjectRule):
         "trusted package imports outside its boundary manifest entry "
         "(TCB layering violation)"
     )
+    explanation = (
+        "The paper's Table 4 argument rests on a minimal TCB: the "
+        "trusted packages (repro.core, repro.crypto, repro.roce, plus "
+        "the constrained infrastructure repro.sim and repro.net) must "
+        "not depend on untrusted code, or the measured TCB LoC number "
+        "is fiction.  Each trusted package declares an import allowlist "
+        "in the boundary manifest; any import edge outside it is a "
+        "layering violation.  `if TYPE_CHECKING:` imports are exempt — "
+        "they never execute."
+    )
 
     def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
         for src in sources:

@@ -102,6 +102,16 @@ class WallClockRule(_CallPatternRule):
         "wall-clock read inside simulation code; use the simulator's "
         "virtual clock (Simulator.now) instead"
     )
+    explanation = (
+        "The discrete-event simulation is the reproduction's measurement "
+        "instrument: every figure is a function of virtual time and the "
+        "seed.  A wall-clock read (time.time, time.monotonic, "
+        "time.perf_counter, ...) couples simulated behaviour to the host "
+        "machine's speed, so two runs of the same seed diverge and no "
+        "reported number is reproducible.  Read Simulator.now instead; "
+        "host-side benchmarking belongs in benchmarks/, not in "
+        "simulation code."
+    )
 
     def match(self, name: str, node: ast.Call) -> str | None:
         if name in _CLOCK_CALLS:
@@ -114,6 +124,13 @@ class DatetimeNowRule(_CallPatternRule):
     description = (
         "datetime/date 'now' constructor; timestamps must derive from "
         "virtual time or an explicit argument"
+    )
+    explanation = (
+        "datetime.now()/utcnow()/date.today() are wall-clock reads in "
+        "calendar clothing: they make simulated state depend on when the "
+        "test suite happened to run.  Derive timestamps from the virtual "
+        "clock (Simulator.now) or take them as explicit arguments so the "
+        "caller controls them deterministically."
     )
 
     def match(self, name: str, node: ast.Call) -> str | None:
@@ -128,6 +145,15 @@ class UnseededRandomRule(_CallPatternRule):
         "unseeded randomness (global `random` module, zero-arg "
         "random.Random(), os.urandom, secrets, uuid4); draw from "
         "repro.sim.rng.DeterministicRng or a seeded random.Random"
+    )
+    explanation = (
+        "The process-global random module, zero-argument random.Random(), "
+        "os.urandom, secrets and uuid1/uuid4 all draw entropy the run "
+        "cannot replay: a failing seed can never be reproduced, and "
+        "cross-run digests (the sanitizer's, the golden traces') stop "
+        "matching.  Every random draw must come from "
+        "repro.sim.rng.DeterministicRng or an explicitly seeded "
+        "random.Random that traces back to the scenario seed."
     )
 
     def match(self, name: str, node: ast.Call) -> str | None:
@@ -148,6 +174,13 @@ class EnvironReadRule(Rule):
     description = (
         "environment read inside simulation code; behaviour must be a "
         "function of explicit parameters and the seed"
+    )
+    explanation = (
+        "os.environ reads make simulated behaviour a function of ambient "
+        "shell state — invisible in the call signature, different on "
+        "every machine, and absent from the seed.  Configuration enters "
+        "the simulation as explicit constructor/function parameters so "
+        "that a (seed, parameters) pair fully determines a run."
     )
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
@@ -189,6 +222,14 @@ class SetOrderingRule(Rule):
     description = (
         "set-ordering hazard: list()/tuple() over a set, or iterating a "
         "freshly built set — order is hash-dependent; use sorted(...)"
+    )
+    explanation = (
+        "Iteration order of a set depends on insertion history and hash "
+        "randomization, so list(set(...)) or a loop over a freshly built "
+        "set can process elements in a different order on the next "
+        "interpreter run — reordering events, messages, or digests that "
+        "the determinism tests compare byte-for-byte.  sorted(...) makes "
+        "the order part of the program, not the interpreter."
     )
 
     def check(self, src: SourceFile) -> Iterator[Finding]:

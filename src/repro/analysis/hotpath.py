@@ -1,0 +1,861 @@
+"""Hot-path cost analysis: interprocedural PERF lint (PERF001–PERF006).
+
+The PR 4 kernel wins — ``__slots__`` everywhere, allocation-free drain
+loop, one-load-one-``is``-check instrumentation — are protected
+dynamically by the perf-smoke floor, but a floor only trips *after* the
+cost has been paid.  This pass makes hot-path cost a statically checked
+contract, the same way determinism, taint, races and ownership already
+are:
+
+1. **Reachability.**  A declarative :class:`HotPathManifest` names the
+   kernel entry points (the clock's step/drain loop, the event trigger
+   paths, the device tx/rx datapath, the RoCE verify path) plus the
+   callback-invoked functions a static call graph cannot reach (the
+   fabric ``carry`` hops, ``Process._resume``).  The PR 3 call graph
+   (:func:`repro.analysis.dataflow.index_functions`, trailing-name call
+   resolution) closes those entries into the *hot set*, never leaving
+   the manifest's ``hot_packages`` — so the untrusted telemetry /
+   sanitizer / systems layers are outside the contract by construction.
+
+2. **Rules over the hot set.**
+
+   * PERF001 — allocation in the per-event path: comprehensions and
+     generator expressions, strings built with ``+``, closures (nested
+     ``def`` / ``lambda``).
+   * PERF002 — a class instantiated inside a hot function without
+     ``__slots__`` (or ``@dataclass(slots=True)``); exception classes
+     are error-path-only and exempt.
+   * PERF003 — an instrument/trace emit with an *expensive* argument
+     (f-string, method call, comprehension) not gated by a
+     ``tracer``/``telemetry``-style ``is not None`` check.  The hooks
+     self-gate, so cheap-argument call sites are free; building
+     ``packet.describe()`` for a discarded record is not.
+   * PERF004 — the same loop-invariant bound-method looked up twice or
+     more inside one loop (``a.b.method(...)`` with no segment of
+     ``a.b`` assigned in the loop): hoist it.
+   * PERF005 — ``try``/``except`` inside a loop in a hot function.
+     ``try``/``finally`` is free on the no-exception path (3.11+), and
+     a ``try`` whose body *yields* is a protocol wait (the verify loop
+     catching :class:`AttestationError`), so both are exempt.
+   * PERF006 — a raw ``hmac.new``/``hashlib.sha256`` call outside the
+     sanctioned batched/cached helpers (``hmac_sha256``,
+     ``hmac_verify``, ``key_id``, ``canonical_bytes``) — those carry
+     the memoization and key-hygiene the hot path relies on.
+
+3. **The manifest artifact.**  :func:`hotpath_manifest` emits
+   per-entry-point reachable sets, per-function allocation-site counts
+   and gated/ungated emit tallies.  The committed copy
+   (``benchmarks/results/hotpath_manifest.json``) is regression-gated
+   in ``scripts/check.sh`` exactly like ``partition_manifest.json``:
+   counts are *pre-suppression*, so an inline waiver silences the lint
+   finding but the site still counts — adding hot-path allocations
+   fails the gate even if each one is individually blessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.analysis.dataflow import (
+    MAX_CALL_CANDIDATES,
+    FunctionInfo,
+    call_name,
+    index_functions,
+    module_under,
+    pattern_matches,
+)
+from repro.analysis.rules import Finding, ProjectRule
+from repro.analysis.walker import SourceFile, walk_own_body
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+_CLOSURES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HotPathManifest:
+    """The declarative hot-path policy for one analysis run.
+
+    *entry_points* are dotted-suffix patterns (``Simulator.step``
+    matches ``repro.sim.clock.Simulator.step``).  Callback-dispatched
+    functions (``callbacks.append`` targets, ``deliver_hook``) are
+    statically unreachable and must be declared here explicitly.
+    """
+
+    #: Kernel entry points: reachability roots.
+    entry_points: tuple[str, ...] = ()
+    #: Reachability never leaves these packages — everything outside is
+    #: cold (or covered by its own pass) by construction.
+    hot_packages: tuple[str, ...] = ()
+    #: Cold reporting/diagnostic helpers: not traversed, not checked.
+    exempt_functions: tuple[str, ...] = ()
+    #: Trailing names of the instrument/trace tracepoints (PERF003).
+    emit_hooks: tuple[str, ...] = ()
+    #: Attribute / local-variable names accepted as emit gates: an
+    #: ``if <name> is not None:`` (or truthiness test) on one of these
+    #: marks its body as gated.
+    gate_names: tuple[str, ...] = ()
+    #: Sanctioned crypto helpers: raw primitive calls are expected
+    #: *inside* these (and only these) hot functions.
+    hmac_helpers: tuple[str, ...] = ()
+    #: Dotted-suffix patterns of raw crypto primitives (PERF006).
+    raw_crypto: tuple[str, ...] = ()
+
+
+#: The TNIC policy.  Entry points follow the paper's Figure 2 datapath:
+#: host work request -> device tx -> wire -> RoCE rx -> verify -> poll,
+#: all riding the simulator's drain loop.
+TNIC_MANIFEST = HotPathManifest(
+    entry_points=(
+        # The event loop itself (every reproduced figure's inner loop).
+        "Simulator.step",
+        "Simulator.run",
+        "Simulator._drain",
+        "Simulator.timeout",
+        # Event trigger paths (callback-scheduled, hence declared).
+        "Event.succeed",
+        "Event.fail",
+        "Timeout.__init__",
+        "Process._resume",
+        # Device datapath (tx/rx).
+        "TnicDevice.send",
+        "TnicDevice._tx_path",
+        "TnicDevice.receive",
+        "TnicDevice.poll",
+        "TnicDevice.drain",
+        "TnicDevice._on_deliver",
+        # RoCE transport: tx pump, rx decode, verify-then-deliver.
+        "RoceKernel._pump_tx",
+        "RoceKernel._rx_loop",
+        "RoceKernel._handle_ack",
+        "RoceKernel._handle_data",
+        "RoceKernel._delivery_loop",
+        # Link layer: per-hop callbacks the call graph cannot see.
+        "EthernetMac.deliver",
+        "Link.carry",
+        "Fabric.carry",
+    ),
+    hot_packages=(
+        "repro.sim",
+        "repro.core",
+        "repro.roce",
+        "repro.net",
+        "repro.crypto",
+    ),
+    exempt_functions=(
+        # Diagnostics and cold renderers: never on the per-event path.
+        "describe",
+        "render",
+        "stats",
+        "snapshot",
+        "peek_all",
+        "to_dict",
+        "__repr__",
+        "__str__",
+        "validate",
+    ),
+    emit_hooks=(
+        "emit",
+        "count",
+        "gauge_set",
+        "observe",
+        "span_begin",
+        "flight_trigger",
+        "trace_inject",
+        "trace_extract",
+        "note_read",
+        "note_write",
+    ),
+    gate_names=(
+        "tracer",
+        "telemetry",
+        "sanitizer",
+        "profiler",
+        "traced",
+        "span",
+        "vspan",
+    ),
+    hmac_helpers=(
+        "hmac_sha256",
+        "hmac_verify",
+        "VerificationCache.key_id",
+        "canonical_bytes",
+        "sha256",
+        "sha256_hex",
+    ),
+    raw_crypto=(
+        "hmac.new",
+        "_hmac.new",
+        "hmac.digest",
+        "_hmac.digest",
+        "hashlib.sha256",
+        "_hashlib.sha256",
+        "hashlib.new",
+        "_hashlib.new",
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Class index (PERF002)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class defined in a hot package."""
+
+    qualname: str
+    name: str
+    module: str
+    line: int
+    has_slots: bool
+    is_exception: bool
+
+
+def _class_has_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call):
+            name = call_name(deco.func)
+            if name and name.rsplit(".", 1)[-1] == "dataclass":
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "slots"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def _class_is_exception(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = call_name(base) or ""
+        tail = name.rsplit(".", 1)[-1]
+        if tail in ("BaseException", "Exception", "Interrupt") or tail.endswith(
+            ("Error", "Exception", "Warning")
+        ):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+class HotPathEngine:
+    """Reachability closure + PERF checks over one source set.
+
+    Built once per lint run (see :func:`hotpath_engine`); the rule
+    classes and the manifest emitter both read its precomputed
+    ``findings`` / ``function_stats`` / ``reachable`` tables.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[SourceFile],
+        manifest: HotPathManifest = TNIC_MANIFEST,
+    ) -> None:
+        self.sources = list(sources)
+        self.manifest = manifest
+        self.functions: list[FunctionInfo] = [
+            info
+            for info in index_functions(self.sources)
+            if module_under(info.module, manifest.hot_packages)
+        ]
+        self._by_name: dict[str, list[FunctionInfo]] = {}
+        self._by_qualname: dict[str, FunctionInfo] = {}
+        for info in self.functions:
+            self._by_name.setdefault(info.name, []).append(info)
+            self._by_qualname[info.qualname] = info
+        self._classes_by_name: dict[str, list[ClassInfo]] = {}
+        self._index_classes()
+        self._successor_cache: dict[str, tuple[str, ...]] = {}
+        #: entry qualname -> every hot function it reaches (inclusive).
+        self.reachable: dict[str, tuple[str, ...]] = {}
+        self._compute_reachability()
+        #: union of all per-entry reachable sets, deterministic order.
+        self.hot_functions: tuple[str, ...] = tuple(
+            sorted({q for reach in self.reachable.values() for q in reach})
+        )
+        self.findings: list[Finding] = []
+        #: qualname -> {"module", "line", "allocation_sites", "emit_sites"}
+        self.function_stats: dict[str, dict] = {}
+        for qualname in self.hot_functions:
+            self._check_function(self._by_qualname[qualname])
+
+    # -- construction --------------------------------------------------
+    def _index_classes(self) -> None:
+        for src in self.sources:
+            if not module_under(src.module, self.manifest.hot_packages):
+                continue
+            for node in src.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                info = ClassInfo(
+                    qualname=f"{src.module}.{node.name}",
+                    name=node.name,
+                    module=src.module,
+                    line=node.lineno,
+                    has_slots=_class_has_slots(node),
+                    is_exception=_class_is_exception(node),
+                )
+                self._classes_by_name.setdefault(node.name, []).append(info)
+
+    def _is_exempt(self, qualname: str) -> bool:
+        return any(
+            pattern_matches(pattern, qualname)
+            for pattern in self.manifest.exempt_functions
+        )
+
+    def _successors(self, qualname: str) -> tuple[str, ...]:
+        cached = self._successor_cache.get(qualname)
+        if cached is not None:
+            return cached
+        info = self._by_qualname[qualname]
+        out: set[str] = set()
+        for node in walk_own_body(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node.func)
+            if not name:
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            candidates = self._by_name.get(tail, ())
+            if not candidates or len(candidates) > MAX_CALL_CANDIDATES:
+                continue
+            for cand in candidates:
+                if not self._is_exempt(cand.qualname):
+                    out.add(cand.qualname)
+        result = tuple(sorted(out))
+        self._successor_cache[qualname] = result
+        return result
+
+    def _compute_reachability(self) -> None:
+        for pattern in self.manifest.entry_points:
+            roots = [
+                info.qualname
+                for info in self.functions
+                if pattern_matches(pattern, info.qualname)
+            ]
+            for root in roots:
+                if root in self.reachable:
+                    continue
+                seen = {root}
+                frontier = [root]
+                while frontier:
+                    current = frontier.pop()
+                    for succ in self._successors(current):
+                        if succ not in seen:
+                            seen.add(succ)
+                            frontier.append(succ)
+                self.reachable[root] = tuple(sorted(seen))
+
+    # -- findings helpers ----------------------------------------------
+    def _finding(
+        self, rule: str, info: FunctionInfo, node: ast.AST, message: str
+    ) -> None:
+        line = getattr(node, "lineno", info.node.lineno)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                module=info.module,
+                path=str(info.src.path),
+                line=line,
+                col=col,
+                message=message,
+                snippet=info.src.line_text(line),
+            )
+        )
+
+    def _is_gate_expr(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in self.manifest.gate_names
+        if isinstance(expr, ast.Name):
+            return expr.id in self.manifest.gate_names
+        return False
+
+    def _is_gate_test(self, test: ast.expr) -> bool:
+        # `X is not None`, or a bare truthiness test on a gate name
+        # (`if traced:`, `if span:`).
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.IsNot)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return self._is_gate_expr(test.left)
+        return self._is_gate_expr(test)
+
+    @staticmethod
+    def _is_str_operand(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.JoinedStr):
+            return True
+        return isinstance(expr, ast.Constant) and isinstance(expr.value, str)
+
+    def _is_expensive_arg(self, arg: ast.expr) -> bool:
+        """Is building *arg* more than attribute loads and Name calls?
+
+        F-strings, method calls (``packet.describe()``), comprehensions
+        and string concatenation all allocate; plain names, attributes,
+        constants, numeric arithmetic and builtin-style ``len(x)`` calls
+        do not (measurably).
+        """
+        for node in ast.walk(arg):
+            if isinstance(node, ast.JoinedStr):
+                return True
+            if isinstance(node, _COMPREHENSIONS):
+                return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                return True
+            if isinstance(node, ast.BinOp) and (
+                self._is_str_operand(node.left) or self._is_str_operand(node.right)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _receiver_chain(func: ast.expr) -> str | None:
+        """``a.b.method`` -> ``a.b`` (None unless depth >= 2)."""
+        name = call_name(func) if isinstance(func, ast.Attribute) else None
+        if name is None or name.count(".") < 2:
+            return None
+        return name.rsplit(".", 1)[0]
+
+    # -- the per-function walk -----------------------------------------
+    def _check_function(self, info: FunctionInfo) -> None:
+        manifest = self.manifest
+        in_helper = any(
+            pattern_matches(pattern, info.qualname)
+            for pattern in manifest.hmac_helpers
+        )
+        allocation_sites = 0
+        emit_gated = 0
+        emit_ungated = 0
+        # One state record per lexically-enclosing loop:
+        # {"calls": {dotted -> [nodes]}, "assigned": set[str]}.
+        loop_stack: list[dict] = []
+
+        def note_assigned(target: ast.expr) -> None:
+            if not loop_stack:
+                return
+            assigned = loop_stack[-1]["assigned"]
+            if isinstance(target, ast.Name):
+                assigned.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                name = call_name(target)
+                if name:
+                    assigned.add(name)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    note_assigned(element)
+            elif isinstance(target, ast.Starred):
+                note_assigned(target.value)
+
+        def close_loop(state: dict) -> None:
+            assigned = state["assigned"]
+            for chain, nodes in sorted(state["calls"].items()):
+                if len(nodes) < 2:
+                    continue
+                receiver = chain.rsplit(".", 1)[0]
+                # Any rebound prefix (`self.mac = ...`, `entry = ...`)
+                # makes the lookup variant, not hoistable.
+                parts = receiver.split(".")
+                prefixes = {".".join(parts[: i + 1]) for i in range(len(parts))}
+                if prefixes & assigned:
+                    continue
+                self._finding(
+                    "PERF004",
+                    info,
+                    nodes[0],
+                    f"bound method {chain}() looked up {len(nodes)}x in a "
+                    f"loop in hot function {info.qualname}; hoist it to a "
+                    "local before the loop",
+                )
+
+        def visit(node: ast.AST, gated: bool) -> None:
+            nonlocal allocation_sites, emit_gated, emit_ungated
+
+            if isinstance(node, _CLOSURES):
+                allocation_sites += 1
+                kind = "lambda" if isinstance(node, ast.Lambda) else "closure"
+                self._finding(
+                    "PERF001",
+                    info,
+                    node,
+                    f"{kind} created in hot function {info.qualname} "
+                    "(one allocation per event)",
+                )
+                return  # do not descend into the nested scope
+
+            if isinstance(node, _COMPREHENSIONS):
+                allocation_sites += 1
+                self._finding(
+                    "PERF001",
+                    info,
+                    node,
+                    f"comprehension allocates in hot function {info.qualname}",
+                )
+                # fall through: the body may contain calls worth seeing
+
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add) and (
+                self._is_str_operand(node.left) or self._is_str_operand(node.right)
+            ):
+                allocation_sites += 1
+                self._finding(
+                    "PERF001",
+                    info,
+                    node,
+                    f"string built with + in hot function {info.qualname}; "
+                    "precompute it or gate it behind tracing",
+                )
+
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    note_assigned(target)
+            elif isinstance(node, ast.NamedExpr):
+                note_assigned(node.target)
+
+            if isinstance(node, ast.Call):
+                self._visit_call(node, info, gated, loop_stack, in_helper)
+                name = call_name(node.func)
+                tail = name.rsplit(".", 1)[-1] if name else ""
+                if tail in manifest.emit_hooks:
+                    if gated:
+                        emit_gated += 1
+                    else:
+                        emit_ungated += 1
+
+            if isinstance(node, ast.If):
+                child_gated = gated or self._is_gate_test(node.test)
+                for stmt in node.body:
+                    visit(stmt, child_gated)
+                for stmt in node.orelse:
+                    visit(stmt, gated)
+                return
+
+            if isinstance(node, _LOOPS):
+                state: dict = {"calls": {}, "assigned": set()}
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    loop_stack.append(state)
+                    note_assigned(node.target)
+                    loop_stack.pop()
+                loop_stack.append(state)
+                for child in ast.iter_child_nodes(node):
+                    visit(child, gated)
+                loop_stack.pop()
+                close_loop(state)
+                return
+
+            if isinstance(node, ast.Try):
+                if node.handlers and loop_stack:
+                    body_yields = any(
+                        isinstance(sub, (ast.Yield, ast.YieldFrom))
+                        for stmt in node.body
+                        for sub in ast.walk(stmt)
+                    )
+                    if not body_yields:
+                        self._finding(
+                            "PERF005",
+                            info,
+                            node,
+                            "try/except inside a loop in hot function "
+                            f"{info.qualname}; move the handler out of the "
+                            "per-event path (try/finally and yielding "
+                            "protocol waits are exempt)",
+                        )
+                for child in ast.iter_child_nodes(node):
+                    visit(child, gated)
+                return
+
+            for child in ast.iter_child_nodes(node):
+                visit(child, gated)
+
+        for stmt in info.node.body:
+            visit(stmt, False)
+
+        self.function_stats[info.qualname] = {
+            "module": info.module,
+            "line": info.node.lineno,
+            "allocation_sites": allocation_sites,
+            "emit_sites": {"gated": emit_gated, "ungated": emit_ungated},
+        }
+
+    def _visit_call(
+        self,
+        node: ast.Call,
+        info: FunctionInfo,
+        gated: bool,
+        loop_stack: list[dict],
+        in_helper: bool,
+    ) -> None:
+        manifest = self.manifest
+        name = call_name(node.func)
+        if not name:
+            return
+        tail = name.rsplit(".", 1)[-1]
+
+        # PERF003: expensive argument to an ungated emit hook.  The
+        # hooks self-gate, so a cheap-argument call site costs one
+        # attribute load + `is` check; an f-string or describe() call
+        # is built *before* the hook can bail out.
+        if tail in manifest.emit_hooks and not gated:
+            args: list[ast.expr] = list(node.args)
+            args.extend(kw.value for kw in node.keywords)
+            if any(self._is_expensive_arg(arg) for arg in args):
+                self._finding(
+                    "PERF003",
+                    info,
+                    node,
+                    f"emit hook {tail}() called with an expensive argument "
+                    f"in hot function {info.qualname} without a "
+                    "tracer/telemetry gate; wrap it in "
+                    "`if <hub> is not None:`",
+                )
+
+        # PERF006: raw crypto primitive outside the sanctioned helpers.
+        if not in_helper and any(
+            pattern_matches(pattern, name) for pattern in manifest.raw_crypto
+        ):
+            self._finding(
+                "PERF006",
+                info,
+                node,
+                f"raw crypto call {name}() in hot function "
+                f"{info.qualname}; use the cached helpers in "
+                "repro.crypto (hmac_sha256/hmac_verify)",
+            )
+
+        # PERF002: instantiating a __dict__-carrying class per event.
+        for cls in self._classes_by_name.get(tail, ()):
+            if cls.has_slots or cls.is_exception:
+                continue
+            self._finding(
+                "PERF002",
+                info,
+                node,
+                f"hot function {info.qualname} instantiates {cls.qualname} "
+                "which has no __slots__ (per-instance __dict__ on the "
+                "per-event path)",
+            )
+
+        # PERF004 bookkeeping: bound-method lookups inside loops.
+        if loop_stack:
+            chain = self._receiver_chain(node.func)
+            if chain is not None:
+                loop_stack[-1]["calls"].setdefault(name, []).append(node)
+
+
+#: Engine-per-source-set memo, keyed like the taint/ownership caches so
+#: one lint run shares a single reachability closure across the rules.
+_ENGINE_CACHE: dict[tuple, HotPathEngine] = {}
+_ENGINE_CACHE_MAX = 8
+
+
+def hotpath_engine(sources: Sequence[SourceFile]) -> HotPathEngine:
+    """The (cached) hot-path engine for *sources*."""
+    key = tuple((str(src.path), hash(src.source)) for src in sources)
+    engine = _ENGINE_CACHE.get(key)
+    if engine is None:
+        if len(_ENGINE_CACHE) >= _ENGINE_CACHE_MAX:
+            _ENGINE_CACHE.clear()
+        engine = HotPathEngine(sources)
+        _ENGINE_CACHE[key] = engine
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+class _HotPathRule(ProjectRule):
+    """Shared shape: run the engine once, report this rule's findings."""
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        engine = hotpath_engine(sources)
+        for finding in engine.findings:
+            if finding.rule == self.rule_id:
+                yield finding
+
+
+class HotAllocationRule(_HotPathRule):
+    rule_id = "PERF001"
+    description = (
+        "Allocation in the per-event hot path (comprehension, +-built "
+        "string, or closure) in a function reachable from a kernel "
+        "entry point"
+    )
+    explanation = (
+        "Every function reachable from the declared kernel entry points "
+        "(the drain loop, event triggers, device tx/rx, the RoCE verify "
+        "path) runs once per simulated event, so a single comprehension, "
+        "`+`-built string or closure there multiplies by the event count "
+        "— the costs the PR 4 fast path removed.  Hoist the allocation, "
+        "build strings only under a tracing gate, or waive with a "
+        "rationale comment where the allocation is the design (e.g. the "
+        "one-closure-per-message completion callback)."
+    )
+
+
+class HotSlotsRule(_HotPathRule):
+    rule_id = "PERF002"
+    description = (
+        "Class instantiated on the hot path without __slots__ "
+        "(per-instance __dict__ allocation)"
+    )
+    explanation = (
+        "A class instantiated inside a hot function allocates a "
+        "per-instance __dict__ unless it declares __slots__ (directly "
+        "or via @dataclass(slots=True)).  The kernel's event classes "
+        "all carry __slots__; anything constructed per packet, per ACK "
+        "or per event must too.  Exception classes are exempt — they "
+        "only allocate on the error path."
+    )
+
+
+class UngatedEmitRule(_HotPathRule):
+    rule_id = "PERF003"
+    description = (
+        "Instrument/trace emit with an expensive argument and no "
+        "tracer/telemetry gate on the hot path"
+    )
+    explanation = (
+        "The instrumentation hooks cost one attribute load and one `is` "
+        "check when detached — but their *arguments* are built by the "
+        "caller first.  An f-string or packet.describe() passed to an "
+        "emit hook is paid even with tracing off unless the call site "
+        "gates on `sim.tracer is not None` (or a telemetry/sanitizer "
+        "hub, or a span truthiness check) first.  This is the PR 4 "
+        "one-load-one-is-check contract, checked statically."
+    )
+
+
+class LoopInvariantLookupRule(_HotPathRule):
+    rule_id = "PERF004"
+    description = (
+        "Loop-invariant bound method re-looked-up on every iteration "
+        "of a hot loop"
+    )
+    explanation = (
+        "`a.b.method(...)` inside a loop performs two attribute lookups "
+        "plus a bound-method allocation per iteration.  When the same "
+        "chain is called twice or more in one loop and no part of the "
+        "receiver is reassigned inside it, hoist the bound method into "
+        "a local before the loop (`transmit = self.mac.transmit`), the "
+        "same trick the drain loop uses for the profiler lane."
+    )
+
+
+class HotTryExceptRule(_HotPathRule):
+    rule_id = "PERF005"
+    description = (
+        "try/except inside a loop in a hot function (per-iteration "
+        "handler setup on the common path)"
+    )
+    explanation = (
+        "Exception handlers inside the innermost event loop put handler "
+        "dispatch on the common path and defeat several interpreter "
+        "fast paths.  try/finally is free on the no-exception path in "
+        "3.11+ and stays allowed (the drain loop uses it), as does a "
+        "try whose body yields — that is a protocol wait (the verify "
+        "loop catching AttestationError), not per-event control flow.  "
+        "Move other handlers out of the loop or pre-validate instead."
+    )
+
+
+class RawCryptoRule(_HotPathRule):
+    rule_id = "PERF006"
+    description = (
+        "Raw hmac/hashlib call on the hot path outside the sanctioned "
+        "cached helpers"
+    )
+    explanation = (
+        "Attestation makes crypto repetitive by design: the same "
+        "attested message is re-verified at every receiver it is "
+        "forwarded to.  The sanctioned helpers (hmac_sha256, the "
+        "memoized hmac_verify, VerificationCache.key_id, "
+        "canonical_bytes) carry the typed-key encoding memo and the "
+        "verification LRU; a raw hmac.new()/hashlib.sha256() call in a "
+        "hot function bypasses both and recomputes a large-buffer MAC "
+        "per event."
+    )
+
+
+HOTPATH_RULES: tuple[type[_HotPathRule], ...] = (
+    HotAllocationRule,
+    HotSlotsRule,
+    UngatedEmitRule,
+    LoopInvariantLookupRule,
+    HotTryExceptRule,
+    RawCryptoRule,
+)
+
+
+# ----------------------------------------------------------------------
+# The manifest artifact
+# ----------------------------------------------------------------------
+
+def hotpath_manifest(sources: Sequence[SourceFile]) -> dict:
+    """The committed hot-path contract (see scripts/check.sh).
+
+    Counts are pre-suppression: an inline waiver silences the lint
+    finding but the allocation site still counts here, so the gate
+    catches *growth* even when each new site is individually blessed.
+    """
+    engine = hotpath_engine(sources)
+    entry_points = {
+        entry: {"reachable": list(reachable)}
+        for entry, reachable in sorted(engine.reachable.items())
+    }
+    functions = {
+        qualname: dict(engine.function_stats[qualname])
+        for qualname in engine.hot_functions
+    }
+    totals = {
+        "entry_points": len(entry_points),
+        "functions": len(functions),
+        "allocation_sites": sum(
+            stats["allocation_sites"] for stats in functions.values()
+        ),
+        "gated_emits": sum(
+            stats["emit_sites"]["gated"] for stats in functions.values()
+        ),
+        "ungated_emits": sum(
+            stats["emit_sites"]["ungated"] for stats in functions.values()
+        ),
+    }
+    return {
+        "schema": 1,
+        "generated_by": "python -m repro lint --hotpath-manifest",
+        "comment": (
+            "Hot-path cost contract: per-entry-point reachable functions, "
+            "per-function allocation-site counts (pre-waiver) and "
+            "gated/ungated emit tallies.  scripts/check.sh fails when "
+            "allocation sites or ungated emits grow vs. the committed "
+            "copy."
+        ),
+        "entry_points": entry_points,
+        "functions": functions,
+        "totals": totals,
+    }

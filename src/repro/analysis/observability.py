@@ -69,6 +69,15 @@ class TelemetryWallClockRule(Rule):
         "must be a pure function of the virtual clock; importing "
         "time/datetime there is forbidden outright"
     )
+    explanation = (
+        "The observability layer's whole value is that two seeded runs "
+        "produce byte-identical metrics documents — check.sh literally "
+        "cmp's them.  One wall-clock timestamp anywhere in that layer "
+        "breaks the property, so the rule is stricter than DET001: even "
+        "importing time/datetime there is flagged.  The single sanctioned "
+        "exception (the profiler's host-CPU ledger, which never enters "
+        "the metrics document) carries inline waivers."
+    )
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
         if not _in_scope(src):

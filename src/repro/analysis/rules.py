@@ -123,6 +123,7 @@ def pass_groups() -> dict[str, list[Rule]]:
     """
     from repro.analysis.boundaries import TrustedBoundaryRule
     from repro.analysis.determinism import DETERMINISM_RULES
+    from repro.analysis.hotpath import HOTPATH_RULES
     from repro.analysis.interference import INTERFERENCE_RULES
     from repro.analysis.observability import OBSERVABILITY_RULES
     from repro.analysis.ownership import OWNERSHIP_RULES
@@ -138,6 +139,7 @@ def pass_groups() -> dict[str, list[Rule]]:
         "taint": [cls() for cls in TAINT_RULES],
         "interference": [cls() for cls in INTERFERENCE_RULES],
         "ownership": [cls() for cls in OWNERSHIP_RULES],
+        "hotpath": [cls() for cls in HOTPATH_RULES],
     }
 
 

@@ -71,6 +71,14 @@ class SleepInProcessRule(_GeneratorRule):
         "time.sleep inside a simulator process; blocks the event loop "
         "while virtual time stands still — yield sim.timeout(...) instead"
     )
+    explanation = (
+        "A simulator process models latency by yielding events, never by "
+        "stalling the interpreter: time.sleep() freezes the whole event "
+        "loop while virtual time stands still, so every other process "
+        "stops too and the modeled delay never shows up in any measured "
+        "figure.  yield sim.timeout(delay_us) charges the delay to the "
+        "virtual clock where the instruments can see it."
+    )
 
     def match(self, name: str, node: ast.Call) -> str | None:
         if name == "time.sleep":
@@ -83,6 +91,13 @@ class FileIoInProcessRule(_GeneratorRule):
     description = (
         "file I/O inside a simulator process; real I/O latency leaks "
         "into the virtual-time measurement"
+    )
+    explanation = (
+        "Disk I/O inside a process body injects host latency and host "
+        "failure modes into a measurement that is supposed to be a pure "
+        "function of virtual time and the seed.  Load inputs before the "
+        "simulation starts and write artifacts after it drains; inside "
+        "the loop, state lives in memory."
     )
 
     def match(self, name: str, node: ast.Call) -> str | None:
@@ -98,6 +113,13 @@ class BlockingCallInProcessRule(_GeneratorRule):
     description = (
         "socket/subprocess/system call inside a simulator process; "
         "model the interaction as events on the fabric instead"
+    )
+    explanation = (
+        "Real sockets and subprocesses block on things the simulator "
+        "does not control (kernels, networks, other machines), so the "
+        "run's outcome stops being a function of the seed.  The fabric "
+        "and MAC layers exist to model exactly these interactions as "
+        "deterministic events — model the peer, don't call it."
     )
 
     def match(self, name: str, node: ast.Call) -> str | None:

@@ -263,6 +263,25 @@ def _run_lint(args: argparse.Namespace) -> int:
         print(f"lint: partition manifest written to {out}")
         return 0
 
+    if args.hotpath_manifest:
+        import json
+
+        from repro.analysis.hotpath import hotpath_manifest
+
+        manifest = hotpath_manifest(sources)
+        out = Path(args.hotpath_manifest)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+        totals = manifest["totals"]
+        print(
+            f"lint: hot path: {totals['functions']} function(s) reachable "
+            f"from {totals['entry_points']} entry point(s), "
+            f"{totals['allocation_sites']} allocation site(s), "
+            f"{totals['ungated_emits']} ungated emit(s)"
+        )
+        print(f"lint: hotpath manifest written to {out}")
+        return 0
+
     baseline_path = (
         Path(args.baseline) if args.baseline else default_baseline_path()
     )
@@ -293,13 +312,23 @@ def _run_lint(args: argparse.Namespace) -> int:
         print(f"lint: pruned {len(removed)} stale entr(y/ies) from {baseline_path}")
         return 0
 
-    if getattr(args, "jobs", 1) > 1:
+    jobs = getattr(args, "jobs", 1)
+    if jobs is None:
+        # Auto: one worker per pass group, bounded by the machine.  More
+        # workers than groups is waste; --jobs 1 stays the explicit
+        # serial escape hatch and output is byte-identical either way.
+        import os
+
+        from repro.analysis import pass_groups
+
+        jobs = min(len(pass_groups()), os.cpu_count() or 1)
+    if jobs > 1:
         from repro.analysis.rules import (
             apply_suppressions,
             collect_findings_parallel,
         )
 
-        raw = collect_findings_parallel(targets, sources, args.jobs)
+        raw = collect_findings_parallel(targets, sources, jobs)
         findings = apply_suppressions(
             raw, sources, Baseline.load(baseline_path)
         )
@@ -576,14 +605,23 @@ def build_parser() -> argparse.ArgumentParser:
              "benchmarks/results/",
     )
     lint.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=int, default=None, metavar="N",
         help="run independent pass groups (syntactic/taint/interference/"
-             "ownership) across N worker processes (default 1: serial)",
+             "ownership/hotpath) across N worker processes (default: "
+             "auto from os.cpu_count(), capped at the group count; "
+             "--jobs 1 forces the serial driver; output is byte-"
+             "identical either way)",
     )
     lint.add_argument(
         "--partition-manifest", default=None, metavar="FILE",
         help="write the shard plan (per-system ownership domains, "
              "cross-shard edges, shardable verdicts) to FILE and exit",
+    )
+    lint.add_argument(
+        "--hotpath-manifest", default=None, metavar="FILE",
+        help="write the hot-path cost contract (per-entry-point "
+             "reachable functions, allocation-site counts, gated/"
+             "ungated emit tallies) to FILE and exit",
     )
 
     sanitize = sub.add_parser(

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class _SessionCounters:
     send_cnt: int = 0
     recv_cnt: int = 0

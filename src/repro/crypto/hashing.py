@@ -44,7 +44,7 @@ def _encode(part: Any) -> bytes:
 def _type_key(parts: tuple) -> tuple:
     """Recursive type fingerprint distinguishing e.g. ``True`` from ``1``
     (equal, equal-hash values with *different* canonical encodings)."""
-    return tuple(
+    return tuple(  # lint: ignore[PERF001] memo-key construction; runs once per distinct tuple shape, result cached in _CANONICAL_MEMO
         _type_key(part) if type(part) is tuple else type(part)
         for part in parts
     )

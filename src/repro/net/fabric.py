@@ -155,7 +155,7 @@ class Link:
         self, delay: float, receiver: EthernetMac, packet: Packet
     ) -> None:
         self.stats.delivered += 1
-        self.sim.delayed_call(delay, lambda: receiver.deliver(packet))
+        self.sim.delayed_call(delay, lambda: receiver.deliver(packet))  # lint: ignore[PERF001] per-hop delivery closure binds (receiver, packet); the wire model is callback-shaped
 
 
 class Fabric:
@@ -226,7 +226,7 @@ class Fabric:
             count(self.sim, "fabric.reordered")
             delay += self.fault.reorder_extra_delay_us
         self.stats.delivered += 1
-        self.sim.delayed_call(delay, lambda: receiver.deliver(packet))
+        self.sim.delayed_call(delay, lambda: receiver.deliver(packet))  # lint: ignore[PERF001] per-hop delivery closure binds (receiver, packet); the wire model is callback-shaped
 
     def addresses(self) -> list[str]:
         return sorted(self._macs)

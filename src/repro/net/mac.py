@@ -64,7 +64,7 @@ class EthernetMac:
         self.tx_bytes += size
         ready_in = self._tx_busy_until - self.sim.now
         link = self._link
-        self.sim.delayed_call(ready_in, lambda: link.carry(self, packet))
+        self.sim.delayed_call(ready_in, lambda: link.carry(self, packet))  # lint: ignore[PERF001] serialization-delay closure binds the packet until the Tx port frees; one per transmit
 
     def deliver(self, packet: Packet) -> None:
         """Called by the link when a packet arrives at this MAC."""

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletionEntry:
     """One entry of a completion queue."""
 
@@ -24,7 +24,7 @@ class CompletionEntry:
     detail: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class _InflightPacket:
     psn: int
     packet: Any

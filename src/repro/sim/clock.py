@@ -339,5 +339,5 @@ class Simulator:
     def delayed_call(self, delay: float, fn: Callable[[], Any]) -> Timeout:
         """Invoke *fn* after *delay* µs of virtual time."""
         timeout = Timeout(self, delay)
-        timeout.callbacks.append(lambda _event: fn())
+        timeout.callbacks.append(lambda _event: fn())  # lint: ignore[PERF001] adapter dropping the event arg; the zero-arg fn contract predates Timeout callbacks
         return timeout

@@ -58,7 +58,12 @@ class Tracer:
     def wants(self, category: str) -> bool:
         if self.categories is None:
             return True
-        return any(category.startswith(prefix) for prefix in self.categories)
+        # Plain loop, not any(genexpr): this runs per emit() on the hot
+        # path and a generator expression allocates a frame each call.
+        for prefix in self.categories:
+            if category.startswith(prefix):
+                return True
+        return False
 
     def record(
         self, time_us: float, category: str, message: str, **fields: Any

@@ -1,0 +1,69 @@
+"""Clean twin of the hot-path corpus: the same kernel, allocation-free.
+
+Every seeded PERF violation in ``broken/`` has its idiomatic fix here:
+``__slots__`` on the per-event record, a gated f-string emit next to an
+ungated-but-cheap counter bump, a hoisted bound method in the drain
+loop, ``try``/``finally`` instead of ``try``/``except``, a yielding
+``try``/``except`` (a protocol wait, exempt by design), and the raw
+hash call confined to the sanctioned ``sha256`` helper.
+"""
+
+import hashlib
+
+
+class EventRecord:
+    __slots__ = ("psn",)
+
+    def __init__(self, psn):
+        self.psn = psn
+
+
+class Simulator:
+    def __init__(self):
+        self.queue = [3, 2, 1]
+        self.telemetry = None
+        self.mac = None
+
+    def step(self):
+        record = EventRecord(len(self.queue))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            emit(self, "sim.step", f"depth={len(self.queue)}")
+        count(self, "sim.steps")
+        pump = self.wait_loop()
+        self._drain()
+        return record, pump
+
+    def _drain(self):
+        transmit = self.mac.port.transmit
+        while self.queue:
+            transmit(self.queue[-1])
+            transmit(None)
+            try:
+                self.queue.pop()
+            finally:
+                pass
+        return sha256(b"drained")
+
+    def wait_loop(self):
+        while True:
+            try:
+                yield self.queue
+            except ValueError:
+                break
+
+
+def emit(sim, category, message):
+    telemetry = sim.telemetry
+    if telemetry is not None:
+        telemetry.record(category, message)
+
+
+def count(sim, category):
+    telemetry = sim.telemetry
+    if telemetry is not None:
+        telemetry.bump(category)
+
+
+def sha256(data):
+    return hashlib.sha256(data).hexdigest()

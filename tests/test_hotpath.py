@@ -1,0 +1,247 @@
+"""The hot-path cost pass: reachability, PERF rules, the manifest.
+
+Three layers under test, mirroring the corpus under
+``tests/fixtures/hotpath/``:
+
+* the static PERF001–PERF006 rules — every seeded violation in
+  ``broken/`` must be reported at exactly its line, and nothing in
+  ``clean/`` may be flagged (gated f-strings, hoisted bound methods,
+  try/finally, yielding protocol waits, the sanctioned sha256 helper);
+* the interprocedural closure — the entry patterns must resolve to the
+  fixture kernel, reach its callees, and stop at exempt functions and
+  package boundaries;
+* the manifest — schema-1 totals, pre-suppression allocation counts
+  (a waiver silences the finding, never the count), and the real-tree
+  contract the ``scripts/check.sh`` gate regresses against.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.hotpath import (
+    HOTPATH_RULES,
+    HotPathEngine,
+    HotPathManifest,
+    hotpath_manifest,
+)
+from repro.analysis.rules import collect_findings, rule_catalog, run_rules
+from repro.analysis.walker import collect_sources, default_package_root
+
+FIXTURES = Path(__file__).parent / "fixtures" / "hotpath"
+
+PERF_IDS = ("PERF001", "PERF002", "PERF003", "PERF004", "PERF005", "PERF006")
+
+
+def _corpus_findings(corpus: str):
+    sources = collect_sources([FIXTURES / corpus])
+    return collect_findings(sources, [cls() for cls in HOTPATH_RULES])
+
+
+# ----------------------------------------------------------------------
+# Static corpus: no false negatives on broken/, no positives on clean/
+# ----------------------------------------------------------------------
+
+def test_broken_corpus_every_rule_fires():
+    fired = {f.rule for f in _corpus_findings("broken")}
+    assert fired == set(PERF_IDS)
+
+
+def test_broken_corpus_detects_exactly_the_seeded_violations():
+    expected = {
+        ("PERF001", "repro.sim.hotkernel", 25),  # list comprehension
+        ("PERF001", "repro.sim.hotkernel", 26),  # "queue:" + str(...)
+        ("PERF001", "repro.sim.hotkernel", 27),  # lambda event: None
+        ("PERF002", "repro.sim.hotkernel", 28),  # EventRecord() w/o slots
+        ("PERF003", "repro.sim.hotkernel", 29),  # ungated f-string emit
+        ("PERF004", "repro.sim.hotkernel", 35),  # transmit looked up 2x
+        ("PERF005", "repro.sim.hotkernel", 37),  # try/except in the loop
+        ("PERF006", "repro.sim.hotkernel", 41),  # raw hashlib.sha256
+    }
+    got = {(f.rule, f.module, f.line) for f in _corpus_findings("broken")}
+    assert got == expected, (
+        f"missed: {expected - got}; spurious: {got - expected}"
+    )
+
+
+def test_clean_corpus_is_silent():
+    assert _corpus_findings("clean") == []
+
+
+def test_perf004_names_the_chain_and_the_fix():
+    finding = next(
+        f for f in _corpus_findings("broken") if f.rule == "PERF004"
+    )
+    assert "self.mac.port.transmit" in finding.message
+    assert "hoist" in finding.message
+
+
+# ----------------------------------------------------------------------
+# Interprocedural closure
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def broken_engine():
+    return HotPathEngine(collect_sources([FIXTURES / "broken"]))
+
+
+@pytest.fixture(scope="module")
+def clean_engine():
+    return HotPathEngine(collect_sources([FIXTURES / "clean"]))
+
+
+def test_entry_patterns_resolve_against_the_fixture_kernel(broken_engine):
+    assert set(broken_engine.reachable) == {
+        "repro.sim.hotkernel.Simulator.step",
+        "repro.sim.hotkernel.Simulator._drain",
+    }
+
+
+def test_step_reaches_its_callees_transitively(broken_engine):
+    reach = broken_engine.reachable["repro.sim.hotkernel.Simulator.step"]
+    assert "repro.sim.hotkernel.Simulator._drain" in reach
+    assert "repro.sim.hotkernel.emit" in reach
+
+
+def test_helpers_join_the_hot_set_through_calls(clean_engine):
+    assert "repro.sim.coolkernel.sha256" in clean_engine.hot_functions
+    assert "repro.sim.coolkernel.count" in clean_engine.hot_functions
+
+
+def test_exempt_functions_are_cut_from_the_closure():
+    manifest = HotPathManifest(
+        entry_points=("Simulator.step",),
+        hot_packages=("repro.sim",),
+        exempt_functions=("_drain",),
+    )
+    sources = collect_sources([FIXTURES / "broken"])
+    engine = HotPathEngine(sources, manifest)
+    reach = engine.reachable["repro.sim.hotkernel.Simulator.step"]
+    assert "repro.sim.hotkernel.Simulator._drain" not in reach
+    # With _drain exempt, its try/except and raw hash are unchecked.
+    assert not any(
+        f.rule in ("PERF005", "PERF006") for f in engine.findings
+    )
+
+
+def test_allocation_stats_count_sites_per_function(broken_engine):
+    stats = broken_engine.function_stats[
+        "repro.sim.hotkernel.Simulator.step"
+    ]
+    assert stats["allocation_sites"] == 3
+    assert stats["emit_sites"] == {"gated": 0, "ungated": 1}
+
+
+def test_gated_and_ungated_emits_are_tallied_separately(clean_engine):
+    stats = clean_engine.function_stats[
+        "repro.sim.coolkernel.Simulator.step"
+    ]
+    # The gated f-string emit and the ungated-but-cheap counter bump.
+    assert stats["emit_sites"] == {"gated": 1, "ungated": 1}
+
+
+# ----------------------------------------------------------------------
+# The manifest artifact
+# ----------------------------------------------------------------------
+
+def test_manifest_schema_and_totals():
+    sources = collect_sources([FIXTURES / "broken"])
+    manifest = hotpath_manifest(sources)
+    assert manifest["schema"] == 1
+    assert set(manifest["entry_points"]) == {
+        "repro.sim.hotkernel.Simulator.step",
+        "repro.sim.hotkernel.Simulator._drain",
+    }
+    totals = manifest["totals"]
+    assert totals["entry_points"] == 2
+    assert totals["functions"] == 3
+    assert totals["allocation_sites"] == 3
+    assert totals["ungated_emits"] == 1
+
+
+def test_manifest_counts_are_pre_suppression(tmp_path):
+    # A waived allocation is silenced by lint but still counts in the
+    # manifest: the check.sh gate must see growth even when each new
+    # site is individually blessed.
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "kernel.py").write_text(
+        "class Simulator:\n"
+        "    def step(self):\n"
+        "        return [x for x in (1, 2)]"
+        "  # lint: ignore[PERF001] deliberate\n"
+    )
+    sources = collect_sources([tmp_path])
+    findings = run_rules(
+        sources, [cls() for cls in HOTPATH_RULES], baseline=None
+    )
+    assert findings == []  # the waiver silences the finding ...
+    manifest = hotpath_manifest(sources)
+    assert manifest["totals"]["allocation_sites"] == 1  # ... not the count
+
+
+# ----------------------------------------------------------------------
+# Rule registration
+# ----------------------------------------------------------------------
+
+def test_perf_rules_registered_in_catalog():
+    catalog = rule_catalog()
+    for rule_id in PERF_IDS:
+        assert rule_id in catalog
+        assert catalog[rule_id]
+
+
+def test_perf_rules_carry_explanations():
+    for cls in HOTPATH_RULES:
+        rule = cls()
+        assert rule.explanation, f"{rule.rule_id} has no --explain text"
+
+
+# ----------------------------------------------------------------------
+# The real tree
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def real_sources():
+    return collect_sources([default_package_root()])
+
+
+@pytest.mark.lint
+def test_real_tree_has_no_unwaived_perf_findings(real_sources):
+    findings = run_rules(real_sources, [cls() for cls in HOTPATH_RULES])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+@pytest.mark.lint
+def test_real_tree_closure_covers_the_kernel_datapath(real_sources):
+    manifest = hotpath_manifest(real_sources)
+    drain = manifest["entry_points"]["repro.sim.clock.Simulator._drain"]
+    # The drain loop dispatches triggered events into their callbacks.
+    assert "repro.sim.events.Event.succeed" in manifest["entry_points"]
+    assert "repro.sim.clock.Simulator._drain" in drain["reachable"]
+    tx = manifest["entry_points"]["repro.core.device.TnicDevice._tx_path"]
+    # Device tx reaches the RoCE segmentation path interprocedurally.
+    assert any(
+        q.endswith("RoceKernel._segment") for q in tx["reachable"]
+    )
+
+
+@pytest.mark.lint
+def test_real_tree_matches_the_committed_manifest(real_sources):
+    import json
+
+    committed_path = (
+        Path(__file__).parent.parent
+        / "benchmarks" / "results" / "hotpath_manifest.json"
+    )
+    committed = json.loads(committed_path.read_text())
+    fresh = hotpath_manifest(real_sources)
+    assert fresh["totals"] == committed["totals"], (
+        "hot-path manifest drifted; regenerate with "
+        "`python -m repro lint --hotpath-manifest "
+        "benchmarks/results/hotpath_manifest.json`"
+    )
