@@ -19,13 +19,19 @@ def measure_workload(
     fn: Callable[[int], int],
     events: int = DEFAULT_EVENTS,
     rounds: int = 3,
+    warmup: bool = True,
 ) -> float:
     """Best-of-*rounds* throughput of *fn* in events per wall second.
 
     Best-of (not mean) because the quantity of interest is the kernel's
     attainable rate; slower rounds measure the host's noise, not the
-    code.
+    code.  One untimed *warmup* round runs first so lazy imports,
+    allocator arenas and the interpreter's inline caches are primed
+    before the stopwatch starts — without it the first measured round
+    is systematically slow and best-of-N silently needs N+1 rounds.
     """
+    if warmup:
+        fn(events)
     best = 0.0
     for _ in range(rounds):
         start = time.perf_counter()
@@ -36,9 +42,10 @@ def measure_workload(
 
 
 def measure_all(
-    events: int = DEFAULT_EVENTS, rounds: int = 3
+    events: int = DEFAULT_EVENTS, rounds: int = 3, warmup: bool = True
 ) -> dict[str, float]:
     """``{workload name: best events/s}`` for every canonical workload."""
     return {
-        name: measure_workload(fn, events, rounds) for name, fn in WORKLOADS
+        name: measure_workload(fn, events, rounds, warmup=warmup)
+        for name, fn in WORKLOADS
     }

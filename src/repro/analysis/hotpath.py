@@ -117,7 +117,13 @@ TNIC_MANIFEST = HotPathManifest(
         "Simulator.step",
         "Simulator.run",
         "Simulator._drain",
+        "Simulator._drain_fast",
         "Simulator.timeout",
+        # Calendar-queue maintenance (ISSUE 9): the schedule primitive
+        # and the staging/overflow redistribution passes.
+        "Simulator._push",
+        "Simulator._absorb",
+        "Simulator._migrate",
         # Event trigger paths (callback-scheduled, hence declared).
         "Event.succeed",
         "Event.fail",
@@ -184,6 +190,8 @@ TNIC_MANIFEST = HotPathManifest(
     hmac_helpers=(
         "hmac_sha256",
         "hmac_verify",
+        "batch_verify",
+        "_digest_for",
         "VerificationCache.key_id",
         "canonical_bytes",
         "sha256",

@@ -104,6 +104,7 @@ TNIC_MANIFEST = TaintManifest(
         # Constant-time comparison and the attestation-verify family.
         "compare_digest",
         "hmac_verify",
+        "batch_verify",
         "verify",
         "verify_event",
         "check_transferable",

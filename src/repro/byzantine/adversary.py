@@ -19,6 +19,7 @@ from repro.core.attestation import (
     AttestationKernel,
     AttestedMessage,
 )
+from repro.net.body import materialize
 from repro.net.fabric import NetworkFault
 from repro.sim.rng import DeterministicRng
 
@@ -182,7 +183,8 @@ def run_wire_campaign(
             return None
         counter["seen"] += 1
         if counter["seen"] % tamper_every == 0:
-            flipped = bytes([packet.payload[0] ^ 0xFF]) + packet.payload[1:]
+            body = materialize(packet.payload)  # segments may be views
+            flipped = bytes([body[0] ^ 0xFF]) + body[1:]
             return packet.with_payload(flipped)
         return None
 

@@ -403,6 +403,7 @@ def _instrumented_workload(
     """
     from repro.api import Cluster, auth_send
     from repro.api.ops import recv
+    from repro.net.body import materialize
     from repro.net.fabric import NetworkFault
     from repro.telemetry import Telemetry
 
@@ -416,7 +417,8 @@ def _instrumented_workload(
             if remaining["count"] <= 0:
                 return None
             remaining["count"] -= 1
-            flipped = bytes([packet.payload[0] ^ 0xFF]) + packet.payload[1:]
+            body = materialize(packet.payload)  # segments may be views
+            flipped = bytes([body[0] ^ 0xFF]) + body[1:]
             return packet.with_payload(flipped)
 
         fault = NetworkFault(tamper=_flip)

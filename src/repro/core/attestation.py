@@ -28,7 +28,12 @@ from typing import TYPE_CHECKING
 
 from repro.core.counters import CounterStore
 from repro.core.keystore import Keystore, KeystoreError
-from repro.crypto.hmac_engine import HmacEngine, hmac_sha256, hmac_verify
+from repro.crypto.hmac_engine import (
+    HmacEngine,
+    batch_verify,
+    hmac_sha256,
+    hmac_verify,
+)
 from repro.sim.instrument import count, flight_trigger, gauge_set
 from repro.sim.trace import emit
 
@@ -99,6 +104,13 @@ class AttestationKernel:
         self.attest_count = 0
         self.verify_count = 0
         self.reject_count = 0
+        #: Pipelined verifications whose MAC check has not run yet; the
+        #: first HMAC-pipeline completion flushes them in one
+        #: ``batch_verify`` call.  Each entry is ``[session_id, alpha,
+        #: mac_inputs, verdict]`` — slot 3 filled by the flush.  No key
+        #: material is parked here: keys are resolved from the Keystore
+        #: only inside the flush's verify call.
+        self._pending_verifies: list[list] = []
 
     # ------------------------------------------------------------------
     # Bootstrapping interface (used by the driver / attestation protocol)
@@ -135,23 +147,36 @@ class AttestationKernel:
             counter=counter,
         )
 
-    def verify(self, session_id: int, message: AttestedMessage) -> bytes:
+    def verify(
+        self,
+        session_id: int,
+        message: AttestedMessage,
+        mac_valid: bool | None = None,
+    ) -> bytes:
         """Verify authenticity, integrity and continuity; return payload.
 
         Raises :class:`MacMismatchError` on a bad α (Algo 1: L7-8) and
         :class:`ContinuityError` when the counter is not the expected
         one for the session (Algo 1: L8).  Only a fully successful
         verification advances ``recv_cnt``.
+
+        *mac_valid* carries a MAC verdict already computed by the
+        batched pipeline (:meth:`verify_event`); the MAC check is a
+        pure function of the message, so precomputing it never changes
+        the outcome — only where the wall-clock work happens.  ``None``
+        (every direct caller) verifies here.
         """
         key = self._key(session_id)
-        if not hmac_verify(
-            key,
-            message.alpha,
-            message.payload,
-            message.counter,
-            message.device_id,
-            message.session_id,
-        ):
+        if mac_valid is None:
+            mac_valid = hmac_verify(
+                key,
+                message.alpha,
+                message.payload,
+                message.counter,
+                message.device_id,
+                message.session_id,
+            )
+        if not mac_valid:
             self.reject_count += 1
             if self.sim is not None:
                 if self.sim.tracer is not None:
@@ -211,30 +236,69 @@ class AttestationKernel:
     # Pipelined semantics (charge HMAC-pipeline time on the simulator)
     # ------------------------------------------------------------------
     def attest_event(self, session_id: int, payload: bytes) -> "Event":
-        """As :meth:`attest`, but queued on the hardware HMAC pipeline."""
+        """As :meth:`attest`, but queued on the hardware HMAC pipeline.
+
+        The MAC itself is produced synchronously by :meth:`attest`; the
+        pipeline event charges the hardware occupancy for the payload's
+        canonical encoding (its length plus the 8-byte length prefix) —
+        the same span the old redundant ``compute`` call occupied, with
+        no second MAC computed just to be discarded.
+        """
         engine = self._engine()
         message = self.attest(session_id, payload)
         done = engine.sim.event()
-        mac_event = engine.compute(self._key(session_id), payload)
-        mac_event.callbacks.append(lambda _e: done.succeed(message))  # lint: ignore[PERF001] one completion closure per pipelined attest is the async design
+        occupancy = engine.occupy(len(payload) + 8)
+        occupancy.callbacks.append(lambda _e: done.succeed(message))  # lint: ignore[PERF001] one completion closure per pipelined attest is the async design
         return done
 
     def verify_event(self, session_id: int, message: AttestedMessage) -> "Event":
-        """As :meth:`verify`, but queued on the hardware HMAC pipeline."""
+        """As :meth:`verify`, but queued on the hardware HMAC pipeline.
+
+        MAC checks are *batched*: the job is parked on
+        ``_pending_verifies`` and the first pipeline completion flushes
+        every parked job through one
+        :func:`~repro.crypto.hmac_engine.batch_verify` call (one key
+        fingerprint per batch, worker pool for large messages).
+        Virtual time is untouched — each verification still occupies
+        the pipeline for its own message span and resolves at its own
+        completion instant, in completion order, where the continuity
+        check and counter advance run exactly as in the serial path.
+        """
         engine = self._engine()
         done = engine.sim.event()
-        mac_event = engine.compute(self._key(session_id), message.payload)
+        self._key(session_id)  # fail fast on unknown sessions, as before
+        job = [session_id, message.alpha, message.mac_inputs(), None]
+        pending = self._pending_verifies
+        pending.append(job)
+        occupancy = engine.occupy(len(message.payload) + 8)
 
         def _finish(_event) -> None:  # lint: ignore[PERF001] per-verify completion closure carries the fail/succeed branch; one per pipelined op
+            if pending:
+                self._flush_pending_verifies()
             try:
-                payload = self.verify(session_id, message)
+                payload = self.verify(session_id, message, mac_valid=job[3])
             except AttestationError as exc:
                 done.fail(exc)
             else:
                 done.succeed(payload)
 
-        mac_event.callbacks.append(_finish)
+        occupancy.callbacks.append(_finish)
         return done
+
+    def _flush_pending_verifies(self) -> None:
+        """Run every parked MAC check in one batched wall-clock pass.
+
+        Drains the list in place: completion closures share it, so the
+        first completion does the batch and later ones find it empty
+        (their verdict already filled in).
+        """
+        jobs = self._pending_verifies
+        verdicts = batch_verify(
+            [(self._key(job[0]), job[1], job[2]) for job in jobs]  # lint: ignore[PERF001] one batch-input tuple per parked job, once per completion wave; keys resolved here so none sit parked
+        )
+        for job, verdict in zip(jobs, verdicts):
+            job[3] = verdict
+        del jobs[:]
 
     # ------------------------------------------------------------------
     def _key(self, session_id: int) -> bytes:

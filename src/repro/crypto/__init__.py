@@ -20,9 +20,11 @@ from repro.crypto.hashing import sha256, sha256_hex
 from repro.crypto.hmac_engine import (
     HmacEngine,
     VerificationCache,
+    batch_verify,
     hmac_sha256,
     hmac_verify,
     reset_verification_cache,
+    reset_verification_cache_counters,
     verification_cache,
     verification_cache_stats,
 )
@@ -35,10 +37,12 @@ __all__ = [
     "RsaKeyPair",
     "RsaPublicKey",
     "VerificationCache",
+    "batch_verify",
     "generate_keypair",
     "hmac_sha256",
     "hmac_verify",
     "reset_verification_cache",
+    "reset_verification_cache_counters",
     "sha256",
     "sha256_hex",
     "verification_cache",

@@ -30,6 +30,14 @@ _CANON_CACHE_MAX = 4096
 def _encode(part: Any) -> bytes:
     if isinstance(part, bytes):
         return part
+    if isinstance(part, memoryview):
+        # Zero-copy packet bodies must be materialized *before* the
+        # digest boundary (repro.net.body.materialize); hashing a view
+        # here would hide a copy the perf accounting should see.
+        raise TypeError(
+            "memoryview reached the digest boundary — call "
+            "repro.net.body.materialize() on packet bodies first"
+        )
     if isinstance(part, str):
         return part.encode("utf-8")
     if isinstance(part, bool):

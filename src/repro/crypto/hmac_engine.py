@@ -3,7 +3,10 @@
 Three layers live here:
 
 * Plain functions :func:`hmac_sha256` / :func:`hmac_verify` computing
-  real MACs (used everywhere an attestation α is produced or checked).
+  real MACs (used everywhere an attestation α is produced or checked),
+  plus :func:`batch_verify`, the wall-clock batched form used by the
+  RoCE rx pipeline: one key fingerprint per batch and a GIL-releasing
+  worker pool for large cache-missed messages on multi-core hosts.
 * :class:`VerificationCache`, a wall-clock-only memo of verification
   *outcomes*: transferable authentication means the same attested
   message is re-verified by every receiver it is forwarded to (e.g.
@@ -23,8 +26,10 @@ from __future__ import annotations
 
 import hashlib as _hashlib
 import hmac as _hmac
+import os as _os
 from collections import OrderedDict
-from typing import TYPE_CHECKING
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
 
 from repro.crypto.hashing import canonical_bytes
 from repro.sim.latency import tnic_hmac_pipeline_us
@@ -88,6 +93,15 @@ class VerificationCache:
         self.hits = 0
         self.misses = 0
 
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters but keep the memoized entries.
+
+        Benchmarks call this after a warmup pass so the reported hit
+        rate is the steady state, not diluted by the one-time misses of
+        session setup and first-touch traffic."""
+        self.hits = 0
+        self.misses = 0
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -117,9 +131,111 @@ def reset_verification_cache() -> None:
     verification_cache.clear()
 
 
+def reset_verification_cache_counters() -> None:
+    """Zero hit/miss counters only (entries survive; see
+    :meth:`VerificationCache.reset_counters`)."""
+    verification_cache.reset_counters()
+
+
 def verification_cache_stats() -> dict:
     """Snapshot of hit/miss counters (for benchmarks and tests)."""
     return verification_cache.stats()
+
+
+#: CPython's hashlib releases the GIL only while hashing buffers larger
+#: than 2047 bytes; below that, handing a digest to another thread is
+#: pure overhead.  Messages at or past this size are eligible for the
+#: worker pool in :func:`batch_verify`.
+GIL_RELEASE_BYTES = 2048
+
+#: Rx-pipeline verification batch size at which the batched path is
+#: comfortably past its crossover vs. per-call :func:`hmac_verify` —
+#: measured by ``benchmarks/bench_ablation_parallel_hmac.py`` (the
+#: crossover lands at a handful of jobs; 32 is one rx window).
+DEFAULT_VERIFY_BATCH = 32
+
+#: Lazily-built worker pool for GIL-releasing digests.  Wall-clock-only:
+#: results are collected in submission order, so virtual-time behaviour
+#: and determinism are untouched by thread scheduling.
+_POOL: ThreadPoolExecutor | None = None
+
+
+def _worker_pool() -> ThreadPoolExecutor:
+    global _POOL
+    if _POOL is None:
+        _POOL = ThreadPoolExecutor(
+            max_workers=min(8, _os.cpu_count() or 1),
+            thread_name_prefix="hmac-batch",
+        )
+    return _POOL
+
+
+def _digest_for(job: tuple) -> bytes:
+    """Worker-side MAC for one pending ``batch_verify`` job."""
+    return _hmac.new(job[1], job[2], "sha256").digest()
+
+
+def batch_verify(jobs: Sequence[tuple]) -> list[bool]:
+    """Verify many ``(key, mac, parts)`` MACs in one wall-clock pass.
+
+    Semantically identical to calling :func:`hmac_verify(key, mac,
+    *parts)` per job — same cache lookups, same stored outcomes, same
+    booleans — but the per-call overhead is amortised across the batch:
+
+    * the cache's one-way key fingerprint is computed once per distinct
+      key (the rx pipeline verifies a whole window under one session
+      key, so this is the dominant saving on small payloads), and
+    * cache-missed digests for messages of :data:`GIL_RELEASE_BYTES` or
+      more are dispatched to a thread pool on multi-core hosts, where
+      hashlib's GIL release lets them overlap.
+
+    Results are positional.  Wall-clock-only: virtual time is charged
+    separately (the callers queue :meth:`HmacEngine.occupy` spans), and
+    pool results are consumed in submission order, so outcomes are
+    deterministic.  One observable cache-stat nuance: two *identical*
+    jobs in one batch both miss (the serial path would hit on the
+    second), because lookups happen before any batch store.
+    """
+    results = [False] * len(jobs)
+    fingerprints: dict[bytes, bytes] = {}
+    pending: list[tuple] = []
+    lookup = verification_cache.lookup
+    key_id = VerificationCache.key_id
+    index = 0
+    any_large = False
+    for key, mac, parts in jobs:
+        if not isinstance(key, bytes) or not key:
+            raise ValueError("HMAC key must be non-empty bytes")
+        message = canonical_bytes(parts)
+        fingerprint = fingerprints.get(key)
+        if fingerprint is None:
+            fingerprint = key_id(key)
+            fingerprints[key] = fingerprint
+        cache_key = (fingerprint, message, mac)
+        cached = lookup(cache_key)
+        if cached is None:
+            pending.append((index, key, message, mac, cache_key))
+            if len(message) >= GIL_RELEASE_BYTES:
+                any_large = True
+        else:
+            results[index] = cached
+        index += 1
+    if not pending:
+        return results
+    if any_large and len(pending) > 1 and (_os.cpu_count() or 1) > 1:
+        digests = list(_worker_pool().map(_digest_for, pending))
+    else:
+        digests = []
+        new = _hmac.new
+        for job in pending:
+            digests.append(new(job[1], job[2], "sha256").digest())
+    compare = _hmac.compare_digest
+    store = verification_cache.store
+    for job, expected in zip(pending, digests):
+        result = compare(expected, job[3])
+        store(job[4], result)
+        results[job[0]] = result
+    return results
 
 
 def hmac_verify(key: bytes, mac: bytes, *parts) -> bool:

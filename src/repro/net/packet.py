@@ -102,7 +102,9 @@ class Packet:
     ip: Ipv4Header
     udp: UdpHeader
     bth: IbTransportHeader
-    payload: bytes = b""
+    #: Either real bytes or a zero-copy ``memoryview`` slice of the
+    #: sender's buffer (multi-MTU segments; see :mod:`repro.net.body`).
+    payload: bytes | memoryview = b""
     trailer: AttestationTrailer | None = None
     #: Free-form annotations (remote address for WRITE, MSN for ACK, ...).
     meta: dict[str, Any] = field(default_factory=dict)

@@ -23,6 +23,9 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.attestation import AttestationError, AttestationKernel, AttestedMessage
 from repro.net.arp import ArpServer
+from repro.net.body import join as join_body
+from repro.net.body import materialize
+from repro.net.body import segment as segment_body
 from repro.net.mac import EthernetMac
 from repro.net.packet import (
     AttestationTrailer,
@@ -66,8 +69,9 @@ class _RxLane:
         self.next_arrival_psn = 0
         #: Bumped on verification failure to invalidate queued packets.
         self.epoch = 0
-        #: Payload chunks of a partially received multi-packet message.
-        self.partial: list[bytes] = []
+        #: Payload chunks of a partially received multi-packet message
+        #: (memoryview slices of the sender's buffer until reassembly).
+        self.partial: list = []
 
 
 class RoceKernel:
@@ -209,14 +213,15 @@ class RoceKernel:
             self._send_completions[(qp_number, last_psn)] = completion
             self._ensure_retransmit_timer(qp_number)
 
-    def _segment(self, payload: bytes) -> list[bytes]:
-        """Split *payload* into path-MTU-sized chunks (>= one chunk)."""
-        if len(payload) <= self.path_mtu:
-            return [payload]
-        return [  # lint: ignore[PERF001] multi-MTU path only; the <=MTU fast path above returns without allocating
-            payload[offset : offset + self.path_mtu]
-            for offset in range(0, len(payload), self.path_mtu)
-        ]
+    def _segment(self, payload: bytes) -> list:
+        """Split *payload* into path-MTU-sized chunks (>= one chunk).
+
+        Multi-MTU messages come back as ``memoryview`` slices over the
+        one payload buffer — segmentation, transmission, per-hop
+        delivery and retransmission all alias it copy-free; the
+        receiver materialises bytes once, at reassembly
+        (:func:`repro.net.body.join`)."""
+        return segment_body(payload, self.path_mtu)
 
     def _build_packet(
         self,
@@ -407,14 +412,16 @@ class RoceKernel:
                 lane.partial.append(packet.payload)
                 if seg_index < segments - 1:
                     continue  # await the remaining segments
-                payload = b"".join(lane.partial)
+                # Reassembly is the digest boundary: one join over the
+                # view segments produces the only receiver-side copy.
+                payload = join_body(lane.partial)
                 lane.partial = []
             else:
                 if lane.partial:
                     # A single-packet message arrived mid-reassembly.
                     self._reject(qp, state, lane)
                     continue
-                payload = packet.payload
+                payload = materialize(packet.payload)
             if packet.trailer is None or self.attestation is None:
                 self._deliver(qp, state, packet, payload=payload,
                               psn_span=segments)

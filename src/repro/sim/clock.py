@@ -1,38 +1,61 @@
 """The virtual clock and event loop.
 
-:class:`Simulator` owns a priority queue of `(time, tiebreak, event)`
-entries and advances virtual time by popping the earliest entry and
-running its callbacks.  All timing in this repository — HMAC pipeline
-delays, PCIe DMA transfers, wire propagation, TEE call overheads — is
-expressed as :class:`~repro.sim.events.Timeout` events on one simulator,
-so measurements are exactly reproducible.
+:class:`Simulator` owns a **calendar queue** of `(time, tiebreak,
+event)` entries and advances virtual time by draining the earliest
+time bucket and running each event's callbacks.  All timing in this
+repository — HMAC pipeline delays, PCIe DMA transfers, wire
+propagation, TEE call overheads — is expressed as
+:class:`~repro.sim.events.Timeout` events on one simulator, so
+measurements are exactly reproducible.
 
 Time unit: **microseconds** throughout the repository, matching the
 paper's reporting unit (µs).
 
-Hot path.  :meth:`Simulator.run` is the inner loop under every
-reproduced figure (§8), so it avoids per-event ``heappop`` entirely:
-each pass snapshots the queue, sorts it once (``list.sort`` beats n
-heappops by a wide margin, and a sorted list is itself a valid
-min-heap), and walks it with plain indexing.  Events scheduled *during*
-the walk land in a fresh heap that is interleaved by timestamp, and any
-unconsumed remainder is merged back before :meth:`run` returns, so the
-queue is always a valid heap at the API boundary.  Scheduling while the
-loop is *not* running is a bare ``list.append`` (the next ``run``/
-``step`` sorts anyway).  All of this is wall-clock-only:
-``tests/test_golden_trace.py`` pins event ordering and virtual-time
-results against pre-fast-path goldens.
+Hot path: the calendar queue.  :meth:`Simulator.run` is the inner loop
+under every reproduced figure (§8), so the schedule/drain cycle avoids
+per-event heap churn:
 
-Scheduling invariant: every path into the queue — :meth:`_schedule_at`,
-:meth:`_enqueue_triggered` and the :class:`Timeout` fast lane — appends
-a ``(when, tiebreak, event)`` entry drawing from the *single*
-``_tiebreak`` counter, so same-timestamp events always process in FIFO
-scheduling order, no matter which path scheduled them.
+* Scheduling while the loop is *idle* is a bare ``list.append`` onto a
+  staging list; :meth:`run`/:meth:`step` distribute it into buckets in
+  one pass (:meth:`_absorb`).
+* Scheduling while the loop is *running* is an O(1) append onto a
+  fixed-width time bucket (``bucket = int(when * inv_width)``, an
+  exact, monotone map for non-negative times), plus one integer
+  heappush when the bucket is new.  The bucket width defaults to
+  :data:`DEFAULT_BUCKET_WIDTH_US` = 1.0 µs — sized from the observed
+  link delays (``WIRE_PROPAGATION_US`` is 1.0 µs, MTU serialisation at
+  100 Gb/s ~0.33 µs, DMA and HMAC occupancies a few µs), so one
+  delivery wave of a protocol round lands in one or two buckets.
+* Draining pops the smallest active bucket id (a heap of *ints*),
+  sorts that one bucket (Timsort is near-linear on the mostly-ordered
+  appends), and walks it with a plain ``for``.  Events scheduled
+  *during* the walk land either in a future bucket (O(1) append) or,
+  for the bucket being drained, in a small ``fresh`` heap interleaved
+  by ``(time, tiebreak)``.
+* Events farther out than :data:`CALENDAR_HORIZON_BUCKETS` buckets go
+  to an **overflow heap**; when the calendar runs dry the horizon
+  advances and due overflow entries migrate into buckets
+  (:meth:`_migrate`), so a far-future retransmission timer costs two
+  heap ops total instead of a calendar full of empty buckets.
+
+All of this is wall-clock-only: ``tests/test_golden_trace.py`` pins
+event ordering and virtual-time results against pre-fast-path goldens,
+and ``tests/test_calendar_queue.py`` pins the bucket-boundary edge
+cases.
+
+Scheduling invariant: every path into the calendar —
+:meth:`_schedule_at`, :meth:`_enqueue_triggered`, the
+:class:`Timeout` fast lane and the staging list — appends a
+``(when, tiebreak, event)`` entry drawing from the *single*
+``_tiebreak`` counter, and every bucket is sorted by the full
+``(when, tiebreak)`` key before it drains, so same-timestamp events
+always process in FIFO scheduling order no matter which path (or which
+bucket) scheduled them.
 """
 
 from __future__ import annotations
 
-from heapq import heapify, heappop, heappush
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Callable, Generator, Iterable
 
@@ -43,6 +66,24 @@ from repro.sim.rng import DeterministicRng
 _PROCESSED = Event.PROCESSED
 _TRIGGERED = Event.TRIGGERED
 _new_timeout = Timeout.__new__
+
+#: Calendar bucket width in µs.  Sized from the observed link delays:
+#: one wire hop is ``WIRE_PROPAGATION_US`` (1.0 µs) plus ~0.33 µs MTU
+#: serialisation, and the DMA/HMAC occupancies are single-digit µs, so
+#: a 1.0 µs bucket holds one delivery wave without degenerating into a
+#: per-event bucket.  Any positive width is correct (the bucket map is
+#: monotone); powers of two keep the float multiply exact.
+DEFAULT_BUCKET_WIDTH_US = 1.0
+
+#: How many buckets the calendar spans ahead of its base before events
+#: spill into the overflow heap.  4096 × 1.0 µs covers every in-flight
+#: protocol round trip in the repository; only long retransmission /
+#: client timeout timers overflow, and those cost two heap ops total.
+CALENDAR_HORIZON_BUCKETS = 4096
+
+#: End-of-bucket marker appended to each drain snapshot: its infinite
+#: timestamp flushes the fresh heap, then the identity check breaks out.
+_END: tuple[float, int, Any] = (float("inf"), 0, None)
 
 
 class EmptySchedule(Exception):
@@ -67,16 +108,45 @@ def _perturbed_ties(seed: int):
 class Simulator:
     """Discrete-event simulation kernel with a microsecond virtual clock."""
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "_now", "_staged", "_buckets", "_active", "_overflow", "_fresh",
+        "_width", "_inv_width", "_limit", "_draining", "_tiebreak",
+        "_tie_next", "_running",
+        "tracer", "telemetry", "sanitizer", "profiler",
+        # Escape hatch for tests/tools that attach ad-hoc attributes;
+        # the slotted names above keep the kernel's own loads fast.
+        "__dict__",
+    )
+
+    def __init__(self, bucket_width_us: float = DEFAULT_BUCKET_WIDTH_US) -> None:
+        if bucket_width_us <= 0:
+            raise ValueError(f"bucket width must be positive: {bucket_width_us}")
         self._now = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
+        #: Entries appended while the loop is idle; distributed into
+        #: buckets by :meth:`_absorb` when `run`/`step` starts.
+        self._staged: list[tuple[float, int, Event]] = []
+        #: bucket id -> its (when, tiebreak, event) entries, unsorted.
+        self._buckets: dict[int, list[tuple[float, int, Event]]] = {}
+        #: Min-heap of non-empty bucket ids (plain ints).
+        self._active: list[int] = []
+        #: Min-heap of entries beyond the calendar horizon.
+        self._overflow: list[tuple[float, int, Event]] = []
+        #: Min-heap of entries scheduled *into the bucket being
+        #: drained* by its own callbacks; interleaved by (when, tie).
+        self._fresh: list[tuple[float, int, Event]] = []
+        self._width = bucket_width_us
+        self._inv_width = 1.0 / bucket_width_us
+        #: First bucket id past the calendar horizon (overflow beyond).
+        self._limit = CALENDAR_HORIZON_BUCKETS
+        #: Bucket id currently being drained, -1 between buckets.
+        self._draining = -1
         self._tiebreak = count()
-        #: True while :meth:`run` is draining — scheduling then must
-        #: keep the live heap valid (heappush instead of append).
+        #: Bound ``__next__`` of the tiebreak source — one load+call on
+        #: the schedule path instead of a global ``next`` dispatch.
+        self._tie_next = self._tiebreak.__next__
+        #: True while :meth:`run` is draining — scheduling then goes
+        #: straight into the calendar instead of the staging list.
         self._running = False
-        #: False when the queue may violate the heap invariant (bare
-        #: appends while idle); :meth:`step`/:meth:`run` restore it.
-        self._heaped = True
         #: Optional structured tracer (see :mod:`repro.sim.trace`).
         self.tracer = None
         #: Optional telemetry hub (see :mod:`repro.telemetry`); the
@@ -117,8 +187,9 @@ class Simulator:
         (every wire hop, DMA transfer and pipeline occupancy is one
         timeout), so it builds the :class:`Timeout` inline via
         ``__new__`` — one frame instead of ``timeout()`` →
-        ``type.__call__`` → ``Timeout.__init__``.  The stores below
-        mirror :meth:`Timeout.__init__` exactly.
+        ``type.__call__`` → ``Timeout.__init__`` — and inlines the
+        calendar push (:meth:`_push`) rather than paying a second
+        frame.  The stores below mirror :meth:`Timeout.__init__`.
         """
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -129,13 +200,24 @@ class Simulator:
         timeout._value = value
         timeout._exception = None
         timeout.delay = delay
+        when = self._now + delay
         if self._running:
-            heappush(self._queue,
-                     (self._now + delay, next(self._tiebreak), timeout))
+            entry = (when, self._tie_next(), timeout)
+            bucket = int(when * self._inv_width)
+            if bucket == self._draining:
+                heappush(self._fresh, entry)
+            elif bucket < self._limit:
+                buckets = self._buckets
+                pending = buckets.get(bucket)
+                if pending is None:
+                    buckets[bucket] = [entry]
+                    heappush(self._active, bucket)
+                else:
+                    pending.append(entry)
+            else:
+                heappush(self._overflow, entry)
         else:
-            self._queue.append(
-                (self._now + delay, next(self._tiebreak), timeout))
-            self._heaped = False
+            self._staged.append((when, self._tie_next(), timeout))
         return timeout
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
@@ -163,8 +245,11 @@ class Simulator:
         random in their high bits and monotonic in their low bits —
         same-timestamp events therefore process in a seed-determined
         shuffle (unique keys, reproducible run-to-run), while
-        cross-timestamp order is untouched.  Entries already queued are
-        re-keyed so construction-time ties are perturbed too.
+        cross-timestamp order is untouched.  Entries already queued
+        (staged, bucketed or overflowed) are re-keyed so
+        construction-time ties are perturbed too.  The calendar is
+        collapsed back into the staging list; the next ``run``/``step``
+        redistributes with the new keys.
 
         ``perturb_ties(None)`` restores exact FIFO.  The default path is
         untouched: no extra work, and golden traces stay byte-identical.
@@ -172,13 +257,21 @@ class Simulator:
         if self._running:
             raise RuntimeError("cannot perturb ties while the loop is running")
         self._tiebreak = count() if seed is None else _perturbed_ties(seed)
-        if self._queue:
-            entries = sorted(self._queue)  # re-key in current FIFO order
-            self._queue = [
-                (when, next(self._tiebreak), event)
+        self._tie_next = self._tiebreak.__next__
+        entries = self._staged
+        if self._buckets or self._overflow:
+            for pending in self._buckets.values():
+                entries.extend(pending)
+            entries.extend(self._overflow)
+            self._buckets = {}
+            self._active = []
+            self._overflow = []
+        if entries:
+            entries.sort()  # current (when, tiebreak) FIFO order
+            self._staged = [
+                (when, self._tie_next(), event)
                 for when, _, event in entries
             ]
-            self._heaped = False
 
     # ------------------------------------------------------------------
     # Scheduling internals (used by Event/Timeout)
@@ -187,14 +280,29 @@ class Simulator:
         """The one scheduling primitive: enqueue *event* at *when*.
 
         Every entry shares this tuple shape and tiebreak counter (the
-        :class:`Timeout` fast lane replicates it verbatim); FIFO order
-        among same-timestamp events is therefore global.
+        :meth:`timeout` fast lane replicates it verbatim); FIFO order
+        among same-timestamp events is therefore global.  While the
+        loop runs, the entry goes straight into the calendar: the
+        drained bucket's ``fresh`` heap, an O(1) bucket append, or the
+        overflow heap past the horizon.
         """
         if self._running:
-            heappush(self._queue, (when, next(self._tiebreak), event))
+            entry = (when, self._tie_next(), event)
+            bucket = int(when * self._inv_width)
+            if bucket == self._draining:
+                heappush(self._fresh, entry)
+            elif bucket < self._limit:
+                buckets = self._buckets
+                pending = buckets.get(bucket)
+                if pending is None:
+                    buckets[bucket] = [entry]
+                    heappush(self._active, bucket)
+                else:
+                    pending.append(entry)
+            else:
+                heappush(self._overflow, entry)
         else:
-            self._queue.append((when, next(self._tiebreak), event))
-            self._heaped = False
+            self._staged.append((when, self._tie_next(), event))
 
     def _schedule_at(self, when: float, event: Event) -> None:
         if when < self._now:
@@ -205,17 +313,103 @@ class Simulator:
         self._push(self._now, event)
 
     # ------------------------------------------------------------------
+    # Calendar maintenance
+    # ------------------------------------------------------------------
+    def _absorb(self) -> None:
+        """Distribute the idle-time staging list into calendar buckets.
+
+        Runs once at the top of :meth:`run`/:meth:`step`.  Entries keep
+        their construction-time tiebreaks, and every bucket is sorted
+        by the full ``(when, tiebreak)`` key before draining, so the
+        distribution order never affects processing order.
+        """
+        staged = self._staged
+        self._staged = []
+        inv_width = self._inv_width
+        limit = self._limit
+        buckets = self._buckets
+        active = self._active
+        overflow = self._overflow
+        for entry in staged:
+            bucket = int(entry[0] * inv_width)
+            if bucket >= limit:
+                heappush(overflow, entry)
+                continue
+            pending = buckets.get(bucket)
+            if pending is None:
+                buckets[bucket] = [entry]
+                heappush(active, bucket)
+            else:
+                pending.append(entry)
+
+    def _migrate(self) -> None:
+        """Advance the horizon and pull due overflow entries into buckets.
+
+        Called only when the calendar is empty, so the new base is the
+        earliest overflow entry's bucket.  Entries pop in full
+        ``(when, tiebreak)`` order, so per-bucket append order stays
+        sorted and FIFO-correct.
+        """
+        overflow = self._overflow
+        inv_width = self._inv_width
+        limit = int(overflow[0][0] * inv_width) + CALENDAR_HORIZON_BUCKETS
+        self._limit = limit
+        buckets = self._buckets
+        active = self._active
+        while overflow:
+            entry = overflow[0]
+            bucket = int(entry[0] * inv_width)
+            if bucket >= limit:
+                break
+            heappop(overflow)
+            pending = buckets.get(bucket)
+            if pending is None:
+                buckets[bucket] = [entry]
+                heappush(active, bucket)
+            else:
+                pending.append(entry)
+
+    def _restore(self, bucket: int, entries: list) -> None:
+        """Return unprocessed *entries* (plus fresh leftovers) to *bucket*.
+
+        Early-exit path (deadline, sentinel, callback exception): the
+        calendar must hold exactly the unprocessed events afterwards.
+        List order is irrelevant — buckets sort on drain.
+        """
+        fresh = self._fresh
+        if fresh:
+            entries.extend(fresh)
+            del fresh[:]
+        if entries:
+            pending = self._buckets.get(bucket)
+            if pending is None:
+                self._buckets[bucket] = entries
+                heappush(self._active, bucket)
+            else:
+                pending.extend(entries)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Process the single earliest scheduled event."""
-        queue = self._queue
-        if not queue:
-            raise EmptySchedule()
-        if not self._heaped:
-            queue.sort()  # a sorted list is a valid min-heap
-            self._heaped = True
-        when, _, event = heappop(queue)
+        if self._staged:
+            self._absorb()
+        active = self._active
+        if not active:
+            if not self._overflow:
+                raise EmptySchedule()
+            self._migrate()
+        bucket = active[0]
+        pending = self._buckets[bucket]
+        if len(pending) > 1:
+            pending.sort()
+        entry = pending.pop(0)
+        if not pending:
+            heappop(active)
+            del self._buckets[bucket]
+        when = entry[0]
+        event = entry[2]
         self._now = when
         event._state = _PROCESSED
         callbacks = event.callbacks
@@ -253,9 +447,14 @@ class Simulator:
 
         if self._running:
             raise RuntimeError("run() called from inside the event loop")
+        if self._staged:
+            self._absorb()
         self._running = True
         try:
-            self._drain(sentinel, deadline)
+            if sentinel is None and deadline is None:
+                self._drain_fast()
+            else:
+                self._drain(sentinel, deadline)
         finally:
             self._running = False
 
@@ -270,38 +469,63 @@ class Simulator:
             self._now = deadline
         return None
 
-    def _drain(self, sentinel: Event | None, deadline: float | None) -> None:
-        """Sorted-batch event loop shared by every :meth:`run` mode.
+    def _drain_fast(self) -> None:
+        """Calendar drain for bare ``run()``: no sentinel, no deadline.
 
-        Exits with ``self._queue`` a valid heap holding exactly the
-        unprocessed events — including when a callback raises.
+        The dominant mode (every workload that runs to completion), so
+        it carries none of the per-event deadline/sentinel compares of
+        :meth:`_drain`.  Each pass pops the smallest active bucket id,
+        sorts that bucket once, and walks it with a plain ``for`` — the
+        ``_END`` marker's infinite timestamp flushes the fresh heap
+        before the walk concludes, so callback-scheduled same-bucket
+        events interleave exactly as the global (when, tie) order
+        demands.  On a callback exception the ``finally`` block puts
+        every unprocessed entry back (processed events are marked, so
+        membership is recoverable without tracking an index).
         """
+        buckets = self._buckets
+        active = self._active
+        fresh = self._fresh
         while True:
-            pending = self._queue
-            if not pending:
+            if not active:
+                if self._overflow:
+                    self._migrate()
+                    continue
                 return
-            pending.sort()
-            self._heaped = True
-            # New events scheduled by callbacks land here (as a heap).
-            self._queue = fresh = []
-            index = 0
-            size = len(pending)
+            bucket = heappop(active)
+            snapshot = buckets.pop(bucket)
+            if len(snapshot) > 1:
+                snapshot.sort()
+            snapshot.append(_END)
+            self._draining = bucket
+            done = False
             try:
-                while index < size:
-                    entry = pending[index]
-                    when = entry[0]
-                    if fresh and fresh[0][0] < when:
-                        # A callback scheduled something earlier than
-                        # the next batch entry: interleave it.  Ties go
-                        # to the batch (its tiebreaks are older).
-                        if deadline is not None and fresh[0][0] > deadline:
-                            return
-                        when, _, event = heappop(fresh)
-                    else:
-                        if deadline is not None and when > deadline:
-                            return
-                        event = entry[2]
-                        index += 1
+                # Tuple unpack in the for header: UNPACK_SEQUENCE on a
+                # 3-tuple is cheaper than two indexed loads per entry.
+                for when, _tie, event in snapshot:
+                    while fresh and fresh[0][0] < when:
+                        # A callback scheduled into this bucket, earlier
+                        # than the next snapshot entry: interleave it.
+                        # Ties go to the snapshot (its tiebreaks are
+                        # older).
+                        fwhen, _ftie, fevent = heappop(fresh)
+                        self._now = fwhen
+                        fevent._state = _PROCESSED
+                        callbacks = fevent.callbacks
+                        profiler = self.profiler
+                        if profiler is not None:
+                            fevent.callbacks = []
+                            started = profiler.clock()
+                            for callback in callbacks:
+                                callback(fevent)
+                            profiler.account(fevent, callbacks, fwhen,
+                                             profiler.clock() - started)
+                        elif callbacks:
+                            fevent.callbacks = []
+                            for callback in callbacks:
+                                callback(fevent)
+                    if event is None:
+                        break  # the _END marker: bucket fully drained
                     self._now = when
                     event._state = _PROCESSED
                     callbacks = event.callbacks
@@ -321,17 +545,90 @@ class Simulator:
                         event.callbacks = []
                         for callback in callbacks:
                             callback(event)
+                done = True
+            finally:
+                self._draining = -1
+                if not done:
+                    remaining = []
+                    for entry in snapshot:
+                        if entry is not _END and entry[2]._state != _PROCESSED:
+                            remaining.append(entry)
+                    self._restore(bucket, remaining)
+
+    def _drain(self, sentinel: Event | None, deadline: float | None) -> None:
+        """Calendar drain with sentinel/deadline early exit.
+
+        Exits with the calendar holding exactly the unprocessed events
+        — including when a callback raises (the ``finally`` restores
+        the unconsumed snapshot tail and the fresh heap).
+        """
+        buckets = self._buckets
+        active = self._active
+        fresh = self._fresh
+        width = self._width
+        while True:
+            if not active:
+                if self._overflow:
+                    self._migrate()
+                    continue
+                return
+            bucket = active[0]
+            if deadline is not None and bucket * width > deadline:
+                return  # whole bucket starts past the deadline
+            heappop(active)
+            snapshot = buckets.pop(bucket)
+            if len(snapshot) > 1:
+                snapshot.sort()
+            self._draining = bucket
+            index = 0
+            size = len(snapshot)
+            try:
+                while True:
+                    if index < size:
+                        entry = snapshot[index]
+                        when = entry[0]
+                        if fresh and fresh[0][0] < when:
+                            # Interleave a callback-scheduled entry;
+                            # ties go to the snapshot (older tiebreaks).
+                            if deadline is not None and fresh[0][0] > deadline:
+                                return
+                            entry = heappop(fresh)
+                            when = entry[0]
+                            event = entry[2]
+                        else:
+                            if deadline is not None and when > deadline:
+                                return
+                            event = entry[2]
+                            index += 1
+                    elif fresh:
+                        if deadline is not None and fresh[0][0] > deadline:
+                            return
+                        entry = heappop(fresh)
+                        when = entry[0]
+                        event = entry[2]
+                    else:
+                        break
+                    self._now = when
+                    event._state = _PROCESSED
+                    callbacks = event.callbacks
+                    profiler = self.profiler
+                    if profiler is not None:
+                        event.callbacks = []
+                        started = profiler.clock()
+                        for callback in callbacks:
+                            callback(event)
+                        profiler.account(event, callbacks, when,
+                                         profiler.clock() - started)
+                    elif callbacks:
+                        event.callbacks = []
+                        for callback in callbacks:
+                            callback(event)
                     if event is sentinel:
                         return
             finally:
-                if index < size:
-                    # Early exit: merge the unconsumed tail back in.
-                    fresh.extend(pending[index:])
-                    heapify(fresh)
-            if deadline is not None and fresh and fresh[0][0] > deadline:
-                return
-            if sentinel is None and deadline is None and not fresh:
-                return
+                self._draining = -1
+                if index < size or fresh:
+                    self._restore(bucket, snapshot[index:])
 
     # ------------------------------------------------------------------
     # Convenience

@@ -17,7 +17,6 @@ anything happens in virtual time.
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -87,7 +86,9 @@ class Event:
             # A trigger is a causality edge: whoever resumes on this
             # event happens-after everything the triggering context did.
             sanitizer.event_triggered(self)
-        sim._enqueue_triggered(self)
+        # Inlined _enqueue_triggered: succeed() is the wake-up edge of
+        # every Resource/Store handoff, so skip the one-line hop.
+        sim._push(sim._now, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -102,7 +103,7 @@ class Event:
         sanitizer = sim.sanitizer
         if sanitizer is not None:
             sanitizer.event_triggered(self)
-        sim._enqueue_triggered(self)
+        sim._push(sim._now, self)
         return self
 
     def _mark_processed(self) -> None:
@@ -116,11 +117,13 @@ class Timeout(Event):
     """An event that triggers after a fixed virtual-time delay.
 
     The constructor is the kernel's scheduling fast lane: a timeout is
-    born already TRIGGERED and pushes itself onto the simulator's heap
-    in one step, skipping ``Event.__init__`` + ``succeed()`` +
+    born already TRIGGERED and schedules itself into the simulator's
+    calendar in one step, skipping ``Event.__init__`` + ``succeed()`` +
     ``_schedule_at`` for the dominant plain-delay case.  It still draws
-    its tiebreak from the simulator's single counter, so FIFO ordering
-    against every other scheduling path is preserved exactly.
+    its tiebreak from the simulator's single counter (via ``_push``),
+    so FIFO ordering against every other scheduling path is preserved
+    exactly.  ``Simulator.timeout`` additionally inlines the calendar
+    push itself; this constructor serves direct ``Timeout(...)`` uses.
     """
 
     __slots__ = ("delay",)
@@ -134,13 +137,7 @@ class Timeout(Event):
         self._value = value
         self._exception = None
         self.delay = delay
-        # Mirror Simulator._push exactly: heappush only while the loop
-        # is live (the queue is then a heap); bare append while idle.
-        if sim._running:
-            _heappush(sim._queue, (sim._now + delay, next(sim._tiebreak), self))
-        else:
-            sim._queue.append((sim._now + delay, next(sim._tiebreak), self))
-            sim._heaped = False
+        sim._push(sim._now + delay, self)
 
 
 class Interrupt(Exception):

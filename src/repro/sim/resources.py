@@ -45,7 +45,9 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that triggers once a unit is held."""
-        event = self.sim.event()
+        # Direct construction: acquire() is on the HMAC-pipeline and
+        # REG-page-lock hot path, so skip the sim.event() frame.
+        event = Event(self.sim)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             event.succeed(self)
@@ -91,7 +93,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that triggers with the next item."""
-        event = self.sim.event()
+        event = Event(self.sim)
         if self._items:
             event.succeed(self._items.popleft())
         else:
@@ -154,8 +156,10 @@ class Pipe:
         """Send *size_bytes*; the event triggers at delivery time."""
         if size_bytes < 0:
             raise ValueError("transfer size must be >= 0")
-        start = max(self.sim.now, self._busy_until)
-        self._busy_until = start + self.serialisation_time(size_bytes)
+        sim = self.sim
+        now = sim._now  # one direct load instead of two property frames
+        start = now if now > self._busy_until else self._busy_until
+        busy_until = start + size_bytes / self.bandwidth
+        self._busy_until = busy_until
         self.bytes_transferred += size_bytes
-        delivery = self._busy_until + self.propagation
-        return self.sim.timeout(delivery - self.sim.now, size_bytes)
+        return sim.timeout(busy_until + self.propagation - now, size_bytes)
