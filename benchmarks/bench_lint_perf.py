@@ -6,10 +6,11 @@ latency is part of the developer loop; the acceptance budget is a full
 interprocedural taint engine dominates (project fixpoint + a final
 recording pass over every function), so its share is reported
 separately alongside the fixpoint pass count; the per-generator
-interference pass (RACE001–RACE003), the ownership pass (SHD001–003)
-and the hot-path pass (PERF001–006, reachability closure plus the
-per-function walk) are timed too, to keep their cost honest as the
-tree grows.
+interference pass (RACE001–RACE003), the ownership pass (SHD001–003),
+the hot-path pass (PERF001–006, reachability closure plus the
+per-function walk) and the liveness pass (LIV001–005, lifecycle scans
+plus the wait-for graph) are timed too, to keep their cost honest as
+the tree grows.
 """
 
 import time
@@ -19,6 +20,7 @@ from conftest import register_artefact
 from repro.analysis import (
     HOTPATH_RULES,
     INTERFERENCE_RULES,
+    LIVENESS_RULES,
     OWNERSHIP_RULES,
     TNIC_MANIFEST,
     TaintEngine,
@@ -27,6 +29,7 @@ from repro.analysis import (
     collect_sources,
     default_package_root,
     hotpath_engine,
+    liveness_engine,
 )
 from repro.bench import Table
 
@@ -59,6 +62,13 @@ def test_lint_latency_within_budget(benchmark):
     hotpath_s = time.perf_counter() - start
     hot_set = len(hotpath_engine(sources).hot_functions)
 
+    # Cold liveness engine (per-generator lifecycle scans, trigger-param
+    # fixpoint, wait-for graph) plus all five LIV rules from its cache.
+    start = time.perf_counter()
+    collect_findings(sources, [cls() for cls in LIVENESS_RULES])
+    liveness_s = time.perf_counter() - start
+    wait_edges = len(liveness_engine(sources).edges)
+
     start = time.perf_counter()
     findings = analyze_paths()
     full_s = time.perf_counter() - start
@@ -81,6 +91,8 @@ def test_lint_latency_within_budget(benchmark):
     table.add_row("ownership pass (s)", f"{ownership_s:.2f}")
     table.add_row("hot functions", str(hot_set))
     table.add_row("hotpath pass (s)", f"{hotpath_s:.2f}")
+    table.add_row("wait-graph edges", str(wait_edges))
+    table.add_row("liveness pass (s)", f"{liveness_s:.2f}")
     table.add_row("full lint (s)", f"{full_s:.2f}")
     table.add_row("budget (s)", f"{LINT_BUDGET_S:.1f}")
     register_artefact(
@@ -95,6 +107,8 @@ def test_lint_latency_within_budget(benchmark):
             "ownership_pass_s": round(ownership_s, 3),
             "hot_functions": hot_set,
             "hotpath_pass_s": round(hotpath_s, 3),
+            "wait_graph_edges": wait_edges,
+            "liveness_pass_s": round(liveness_s, 3),
             "full_lint_s": round(full_s, 3),
             "budget_s": LINT_BUDGET_S,
         },

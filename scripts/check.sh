@@ -102,6 +102,56 @@ print(
 PY
 
 echo
+echo "== wait graph (liveness regression gate) =="
+# Leak counts are pre-waiver: an inline `# lint: ignore[LIV001]` keeps
+# `python -m repro lint` green but the site still appears here, so a
+# new leak fails even when individually blessed.  Deadlock verdicts
+# have no waiver path at all — any new cycle fails outright.
+committed_waitgraph=$(cat benchmarks/results/wait_graph.json \
+    2>/dev/null || echo '{"systems": {}, "totals": {}}')
+python -m repro lint --wait-graph benchmarks/results/wait_graph.json
+COMMITTED_WAITGRAPH="$committed_waitgraph" python - <<'PY'
+import json
+import os
+import sys
+
+committed = json.loads(os.environ["COMMITTED_WAITGRAPH"])
+with open("benchmarks/results/wait_graph.json") as handle:
+    fresh = json.load(handle)
+problems = []
+for name, system in sorted(fresh["systems"].items()):
+    was_free = committed.get("systems", {}).get(name, {}).get(
+        "deadlock_free", True
+    )
+    if was_free and not system["deadlock_free"]:
+        problems.append(f"{name}: new deadlock cycle(s)")
+        for cycle in system["cycles"]:
+            ring = " -> ".join(cycle["resources"])
+            problems.append(f"  cycle: {ring}")
+before_leaks = committed.get("totals", {}).get("leak_sites")
+after_leaks = fresh["totals"]["leak_sites"]
+if before_leaks is not None and after_leaks > before_leaks:
+    problems.append(f"leak sites grew {before_leaks} -> {after_leaks}")
+    was = {
+        (leak["module"], leak["line"])
+        for leak in committed.get("leaks", [])
+    }
+    for leak in fresh["leaks"]:
+        if (leak["module"], leak["line"]) not in was:
+            problems.append(
+                f"  {leak['module']}:{leak['line']}: {leak['message']}"
+            )
+if problems:
+    sys.exit("liveness regression:\n" + "\n".join(problems))
+totals = fresh["totals"]
+print(
+    "ok: wait graph holds at "
+    f"{totals['cycles']} cycle(s), {totals['leak_sites']} leak site(s) "
+    f"across {totals['systems']} system(s)"
+)
+PY
+
+echo
 echo "== schedule-perturbation harness (python -m repro sanitize) =="
 python -m repro sanitize --seeds 8 \
     --output benchmarks/results/sanitize_report.json

@@ -23,6 +23,10 @@ turns both into mechanically enforced, CI-gated properties:
 * :mod:`repro.analysis.hotpath`     — PERF001–PERF006 hot-path cost
   lint (interprocedural reachability from the kernel entry points) and
   the hot-path manifest emitter gated in ``scripts/check.sh``;
+* :mod:`repro.analysis.liveness`    — LIV001–LIV005 liveness and
+  resource-lifecycle lint (leaked acquires, double triggers, lost
+  wakeups, static deadlock cycles, unbounded network waits) and the
+  wait-graph emitter gated in ``scripts/check.sh``;
 * :mod:`repro.analysis.report`      — text/JSON/SARIF rendering, TCB
   accounting.
 
@@ -70,6 +74,17 @@ from repro.analysis.interference import (
     SharedIterationYieldRule,
     YieldSpanningRmwRule,
 )
+from repro.analysis.liveness import (
+    LIVENESS_RULES,
+    DoubleTriggerRule,
+    LivenessEngine,
+    LostWakeupRule,
+    ResourceLeakRule,
+    StaticDeadlockRule,
+    UnboundedNetworkWaitRule,
+    liveness_engine,
+    wait_graph,
+)
 from repro.analysis.ownership import (
     OWNERSHIP_RULES,
     CrossReplicaCallRule,
@@ -114,6 +129,7 @@ __all__ = [
     "BOUNDARY_MANIFEST",
     "Baseline",
     "CrossReplicaCallRule",
+    "DoubleTriggerRule",
     "Finding",
     "HOTPATH_RULES",
     "HotAllocationRule",
@@ -122,19 +138,24 @@ __all__ = [
     "HotSlotsRule",
     "HotTryExceptRule",
     "INTERFERENCE_RULES",
+    "LIVENESS_RULES",
+    "LivenessEngine",
     "LoopInvariantLookupRule",
+    "LostWakeupRule",
     "ModuleMutableMutationRule",
     "OWNERSHIP_RULES",
     "OwnershipEngine",
     "ProjectRule",
     "RawCryptoRule",
     "ReplicaEscapeRule",
+    "ResourceLeakRule",
     "Rule",
     "SharedGlobalResidencyRule",
     "SharedIterationYieldRule",
     "SinkSpec",
     "SourceFile",
     "SourceSpec",
+    "StaticDeadlockRule",
     "TNIC_MANIFEST",
     "TRUSTED_PACKAGES",
     "TaintEngine",
@@ -142,6 +163,7 @@ __all__ = [
     "TaintManifest",
     "TcbReport",
     "TrustedBoundaryRule",
+    "UnboundedNetworkWaitRule",
     "UngatedEmitRule",
     "YieldSpanningRmwRule",
     "analyze_dataflow",
@@ -159,6 +181,7 @@ __all__ = [
     "hotpath_manifest",
     "import_graph",
     "is_trusted",
+    "liveness_engine",
     "parse_file",
     "partition_manifest",
     "pass_groups",
@@ -170,6 +193,7 @@ __all__ = [
     "rule_by_id",
     "rule_catalog",
     "run_rules",
+    "wait_graph",
 ]
 
 

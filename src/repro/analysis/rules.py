@@ -125,6 +125,7 @@ def pass_groups() -> dict[str, list[Rule]]:
     from repro.analysis.determinism import DETERMINISM_RULES
     from repro.analysis.hotpath import HOTPATH_RULES
     from repro.analysis.interference import INTERFERENCE_RULES
+    from repro.analysis.liveness import LIVENESS_RULES
     from repro.analysis.observability import OBSERVABILITY_RULES
     from repro.analysis.ownership import OWNERSHIP_RULES
     from repro.analysis.sim_safety import SIM_SAFETY_RULES
@@ -140,6 +141,7 @@ def pass_groups() -> dict[str, list[Rule]]:
         "interference": [cls() for cls in INTERFERENCE_RULES],
         "ownership": [cls() for cls in OWNERSHIP_RULES],
         "hotpath": [cls() for cls in HOTPATH_RULES],
+        "liveness": [cls() for cls in LIVENESS_RULES],
     }
 
 

@@ -64,8 +64,10 @@ def contended_resource(events: int = DEFAULT_EVENTS) -> int:
     def user(n):
         for _ in range(n):
             yield lock.acquire()
-            yield sim.timeout(0.5)
-            lock.release()
+            try:
+                yield sim.timeout(0.5)
+            finally:
+                lock.release()
             store.put(1)
 
     per_proc = 100

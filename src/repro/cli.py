@@ -237,6 +237,22 @@ def _run_lint(args: argparse.Namespace) -> int:
             print(rule.explanation)
         return 0
 
+    only = getattr(args, "only", None)
+    if only:
+        from repro.analysis import rule_catalog
+
+        catalog = rule_catalog()
+        if not any(rule_id.startswith(only) for rule_id in catalog):
+            prefixes = sorted({
+                rule_id.rstrip("0123456789") for rule_id in catalog
+            })
+            print(
+                f"lint: no rule matches --only {only} "
+                f"(valid prefixes: {', '.join(prefixes)})",
+                file=sys.stderr,
+            )
+            return 2
+
     targets = [Path(p) for p in args.paths] or [default_package_root()]
     for target in targets:
         if not target.exists():
@@ -280,6 +296,35 @@ def _run_lint(args: argparse.Namespace) -> int:
             f"{totals['ungated_emits']} ungated emit(s)"
         )
         print(f"lint: hotpath manifest written to {out}")
+        return 0
+
+    if args.wait_graph:
+        import json
+
+        from repro.analysis.liveness import wait_graph
+
+        graph = wait_graph(sources)
+        out = Path(args.wait_graph)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(graph, indent=2) + "\n", encoding="utf-8")
+        for name, system in sorted(graph["systems"].items()):
+            verdict = (
+                "deadlock-free" if system["deadlock_free"] else "DEADLOCK"
+            )
+            print(
+                f"lint: {name:12s} {verdict:13s} "
+                f"nodes={len(system['nodes']):2d} "
+                f"edges={len(system['edges']):2d} "
+                f"cycles={len(system['cycles'])}"
+            )
+        totals = graph["totals"]
+        print(
+            f"lint: wait graph: {totals['systems']} system(s), "
+            f"{totals['nodes']} node(s), {totals['edges']} edge(s), "
+            f"{totals['cycles']} cycle(s), "
+            f"{totals['leak_sites']} leak site(s)"
+        )
+        print(f"lint: wait graph written to {out}")
         return 0
 
     baseline_path = (
@@ -334,6 +379,10 @@ def _run_lint(args: argparse.Namespace) -> int:
         )
     else:
         findings = run_rules(sources, baseline=Baseline.load(baseline_path))
+    if only:
+        # Post-merge filter: applied identically after the serial and
+        # parallel paths so --only composes with --jobs byte-for-byte.
+        findings = [f for f in findings if f.rule.startswith(only)]
     if args.format == "json":
         print(render_json(findings))
     elif args.format == "sarif":
@@ -607,11 +656,17 @@ def build_parser() -> argparse.ArgumentParser:
              "benchmarks/results/",
     )
     lint.add_argument(
+        "--only", default=None, metavar="RULE|PREFIX",
+        help="report only findings whose rule id matches the selector "
+             "(exact id like LIV004, or a family prefix like LIV); "
+             "unknown selectors exit 2 with the valid prefixes",
+    )
+    lint.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="run independent pass groups (syntactic/taint/interference/"
-             "ownership/hotpath) across N worker processes (default: "
-             "auto from os.cpu_count(), capped at the group count; "
-             "--jobs 1 forces the serial driver; output is byte-"
+             "ownership/hotpath/liveness) across N worker processes "
+             "(default: auto from os.cpu_count(), capped at the group "
+             "count; --jobs 1 forces the serial driver; output is byte-"
              "identical either way)",
     )
     lint.add_argument(
@@ -624,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the hot-path cost contract (per-entry-point "
              "reachable functions, allocation-site counts, gated/"
              "ungated emit tallies) to FILE and exit",
+    )
+    lint.add_argument(
+        "--wait-graph", default=None, metavar="FILE",
+        help="write the cross-process wait-for graph (per-system "
+             "resource nodes, hold-while-wait edges, deadlock-cycle "
+             "verdicts, pre-waiver leak sites) to FILE and exit",
     )
 
     sanitize = sub.add_parser(

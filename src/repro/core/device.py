@@ -34,6 +34,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import Event
 
 
+class ReadTimeout(Exception):
+    """A one-sided READ got no response within its deadline.
+
+    The target may hold no registered memory, or the response was lost
+    past the transport's retry budget; either way the requester must not
+    wait forever (LIV005 — every network-facing completion composes a
+    deadline)."""
+
+
 class HostMemoryPort(Protocol):
     """What the device needs from host memory (implemented by IbvMemory)."""
 
@@ -156,12 +165,18 @@ class TnicDevice:
     def _local_attest(self, session_id, payload, done):
         span = span_begin(self.sim, "tnic.local_attest",
                           device=self.device_id, bytes=len(payload))
-        stage = span.child("tnic.dma")
-        yield self.dma.transfer(len(payload))
-        stage.end()
-        stage = span.child("attest.hmac")
-        message = yield self.attestation.attest_event(session_id, payload)
-        stage.end()
+        try:
+            stage = span.child("tnic.dma")
+            yield self.dma.transfer(len(payload))
+            stage.end()
+            stage = span.child("attest.hmac")
+            message = yield self.attestation.attest_event(session_id, payload)
+            stage.end()
+        except Exception as exc:  # a stalled `done` would park the caller
+            span.end(status="error")
+            if not done.triggered:
+                done.fail(exc)
+            return
         span.end()
         done.succeed(message)
 
@@ -174,8 +189,13 @@ class TnicDevice:
         return done
 
     def _local_verify(self, session_id, message, done):
-        yield self.dma.transfer(len(message.payload))
-        yield self.attestation.hmac_engine.occupy(len(message.payload))
+        try:
+            yield self.dma.transfer(len(message.payload))
+            yield self.attestation.hmac_engine.occupy(len(message.payload))
+        except Exception as exc:  # a stalled `done` would park the caller
+            if not done.triggered:
+                done.fail(exc)
+            return
         done.succeed(self.attestation.check_transferable(session_id, message))
 
     # ------------------------------------------------------------------
@@ -216,9 +236,17 @@ class TnicDevice:
     # One-sided READ (serviced by the device, no host involvement)
     # ------------------------------------------------------------------
     def read_remote(
-        self, qp_number: int, remote_addr: int, length: int
+        self, qp_number: int, remote_addr: int, length: int,
+        timeout_us: float = 100_000.0,
     ) -> "Event":
-        """Issue a one-sided READ; the event triggers with the bytes."""
+        """Issue a one-sided READ; the event triggers with the bytes,
+        or fails with :class:`ReadTimeout` after *timeout_us*.
+
+        A READ is a request/response exchange over a lossy fabric: the
+        target may never answer (no registered memory, dropped response
+        past the retry budget), so the completion composes a deadline —
+        the same idiom as :meth:`repro.api.rpc.RpcEndpoint.call`.
+        """
         read_id = self._next_read_id
         self._next_read_id += 1
         result = self.sim.event()
@@ -237,6 +265,15 @@ class TnicDevice:
                 result.fail(event._exception)
 
         request.callbacks.append(_on_request_failure)
+
+        def _expire() -> None:
+            pending = self._pending_reads.pop(read_id, None)
+            if pending is not None and not pending.triggered:
+                pending.fail(ReadTimeout(
+                    f"READ {read_id} got no response within {timeout_us}us"
+                ))
+
+        self.sim.delayed_call(timeout_us, _expire)
         return result
 
     def _on_deliver(self, qp, state) -> None:

@@ -75,7 +75,13 @@ class Event:
     # Triggering
     # ------------------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully with *value*."""
+        """Trigger the event successfully with *value*.
+
+        Lifecycle contract (LIV002): triggers are one-shot.  Code with
+        racing trigger paths (completion vs. expiry) must guard the late
+        path with ``if not event.triggered:`` or make the paths mutually
+        exclusive — a second trigger raises inside whichever process
+        happened to cause it, far from the actual bug."""
         if self._state != Event.PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._state = Event.TRIGGERED
@@ -92,7 +98,8 @@ class Event:
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        """Trigger the event with an exception."""
+        """Trigger the event with an exception (one-shot; see
+        :meth:`succeed` for the LIV002 contract)."""
         if self._state != Event.PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):

@@ -44,7 +44,13 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        """Return an event that triggers once a unit is held."""
+        """Return an event that triggers once a unit is held.
+
+        Lifecycle contract (LIV001): every acquire must be paired with a
+        :meth:`release` on *every* path.  Exceptions are delivered into
+        processes at yield points, so a holder that yields again before
+        releasing must release in a ``try/finally`` — see
+        ``HmacEngine._run`` for the canonical shape."""
         # Direct construction: acquire() is on the HMAC-pipeline and
         # REG-page-lock hot path, so skip the sim.event() frame.
         event = Event(self.sim)
@@ -66,8 +72,12 @@ class Resource:
             self._in_use -= 1
 
     def locked(self) -> Generator[Event, Any, None]:
-        """Process helper: ``yield from resource.locked()`` is acquire."""
-        yield self.acquire()
+        """Process helper: ``yield from resource.locked()`` is acquire.
+
+        Acquire-only by design: the caller owns the unit afterwards and
+        carries the release obligation (the helper exists so process
+        bodies read as ``yield from lock.locked()``)."""
+        yield self.acquire()  # lint: ignore[LIV001] acquire-only helper: the caller owns the release obligation
 
 
 class Store:

@@ -31,7 +31,9 @@ class TnicProcess:
     def exclusive_regs(self):
         """Process helper: acquire the REG-page lock.
 
-        Usage inside a simulation process::
+        Lifecycle contract (LIV001): ``exclusive_regs`` pairs with
+        :meth:`release_regs` on every path.  Usage inside a simulation
+        process::
 
             yield process.exclusive_regs()
             try: ... program registers, ring doorbell ...

@@ -123,7 +123,7 @@ class _Replica:
     # ------------------------------------------------------------------
     def run(self):
         while True:
-            message = yield self.inbox.get()
+            message = yield self.inbox.get()  # lint: ignore[LIV005] intentional server loop: replica serves requests for the run's lifetime
             if self.silent:
                 continue
             if isinstance(message, ClientRequest):

@@ -147,7 +147,7 @@ class _Child:
 
     def run(self):
         while True:
-            message = yield self.inbox.get()
+            message = yield self.inbox.get()  # lint: ignore[LIV005] intentional server loop: child replica serves requests for the run's lifetime
             if not isinstance(message, StreamChunk):
                 continue
             if self.silent:

@@ -1,0 +1,18 @@
+"""LIV005 shapes: pending completion without a deadline, unbounded get."""
+
+
+class UnboundedEndpoint:
+    def __init__(self, sim, rx):
+        self.sim = sim
+        self.rx = rx
+        self._pending = {}
+
+    def call(self, payload):
+        done = self.sim.event()  # line 11: no expiry composed
+        self._pending[payload.psn] = done
+        return done
+
+    def recv_loop(self):
+        while True:
+            frame = yield self.rx.get()  # line 17: parks forever when quiet
+            self._pending.pop(frame.psn, None)

@@ -1,0 +1,30 @@
+"""LIV004 shape: AB-BA acquisition order across two processes."""
+
+
+class TwoLocks:
+    def __init__(self, sim, lock_a, lock_b):
+        self.sim = sim
+        self.lock_a = lock_a
+        self.lock_b = lock_b
+
+    def forward(self):
+        yield self.lock_a.acquire()
+        try:
+            yield self.lock_b.acquire()  # line 13: holds a, waits on b
+            try:
+                yield self.sim.timeout(1.0)
+            finally:
+                self.lock_b.release()
+        finally:
+            self.lock_a.release()
+
+    def backward(self):
+        yield self.lock_b.acquire()
+        try:
+            yield self.lock_a.acquire()  # line 24: holds b, waits on a
+            try:
+                yield self.sim.timeout(1.0)
+            finally:
+                self.lock_a.release()
+        finally:
+            self.lock_b.release()

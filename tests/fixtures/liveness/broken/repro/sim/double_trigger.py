@@ -1,0 +1,15 @@
+"""LIV002 shapes: sequential double trigger, loop outliving the event."""
+
+
+class DoubleTrigger:
+    def complete_twice(self, sim):
+        done = sim.event()
+        done.succeed(1)
+        done.succeed(2)  # line 8: second unguarded trigger
+        return done
+
+    def retrigger_in_loop(self, sim, batches):
+        tick = sim.event()
+        for batch in batches:
+            tick.succeed(batch)  # line 14: loop outlives the event
+        return tick

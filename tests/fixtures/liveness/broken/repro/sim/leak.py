@@ -1,0 +1,18 @@
+"""LIV001 shapes: never-released acquire, release outside try/finally."""
+
+
+class LeakyWorker:
+    def __init__(self, sim, lock):
+        self.sim = sim
+        self.lock = lock
+        self.jobs = 0
+
+    def run(self):
+        yield self.lock.acquire()  # line 11: never released
+        yield self.sim.timeout(1.0)
+        self.jobs += 1
+
+    def run_unprotected(self):
+        yield self.lock.acquire()  # line 16: held across a bare yield
+        yield self.sim.timeout(1.0)
+        self.lock.release()

@@ -1,0 +1,8 @@
+"""LIV003 shape: event yielded with no reachable trigger site."""
+
+
+class ForgottenWait:
+    def wait_forever(self, sim):
+        done = sim.event()
+        yield done  # line 7: nothing ever succeeds/fails `done`
+        return None

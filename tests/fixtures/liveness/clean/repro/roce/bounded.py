@@ -1,0 +1,29 @@
+"""Clean LIV005 twin: deadline-composed completion and receive loop."""
+
+
+class BoundedEndpoint:
+    def __init__(self, sim, rx):
+        self.sim = sim
+        self.rx = rx
+        self._pending = {}
+
+    def call(self, payload, timeout_us=100.0):
+        done = self.sim.event()
+        self._pending[payload.psn] = done
+
+        def _expire():
+            pending = self._pending.pop(payload.psn, None)
+            if pending is not None and not pending.triggered:
+                pending.fail(RuntimeError("no response"))
+
+        self.sim.delayed_call(timeout_us, _expire)
+        return done
+
+    def recv_loop(self):
+        while True:
+            got = self.rx.get()
+            frame = yield self.sim.any_of([got, self.sim.timeout(50.0)])
+            if frame is None:
+                self.rx.cancel_get(got)
+                break
+            self._pending.pop(frame, None)

@@ -1,0 +1,21 @@
+"""Clean LIV003 twin: the event reaches code that completes it."""
+
+
+def complete(event, value):
+    event.succeed(value)
+
+
+class HandedWait:
+    def __init__(self, sim):
+        self.sim = sim
+        self._pending = {}
+
+    def wait_for_handoff(self):
+        done = self.sim.event()
+        complete(done, 7)
+        yield done
+
+    def wait_registered(self, psn):
+        done = self.sim.event()
+        self._pending[psn] = done  # a response handler will complete it
+        yield done

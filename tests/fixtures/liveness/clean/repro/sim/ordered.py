@@ -1,0 +1,30 @@
+"""Clean LIV004 twin: one global acquisition order, no cycle."""
+
+
+class OrderedLocks:
+    def __init__(self, sim, lock_a, lock_b):
+        self.sim = sim
+        self.lock_a = lock_a
+        self.lock_b = lock_b
+
+    def forward(self):
+        yield self.lock_a.acquire()
+        try:
+            yield self.lock_b.acquire()
+            try:
+                yield self.sim.timeout(1.0)
+            finally:
+                self.lock_b.release()
+        finally:
+            self.lock_a.release()
+
+    def also_forward(self):
+        yield self.lock_a.acquire()
+        try:
+            yield self.lock_b.acquire()
+            try:
+                yield self.sim.timeout(2.0)
+            finally:
+                self.lock_b.release()
+        finally:
+            self.lock_a.release()

@@ -1,0 +1,24 @@
+"""Clean LIV001 twin: every hold releases in try/finally."""
+
+
+class TidyWorker:
+    def __init__(self, sim, lock):
+        self.sim = sim
+        self.lock = lock
+        self.jobs = 0
+
+    def run(self):
+        yield self.lock.acquire()
+        try:
+            yield self.sim.timeout(1.0)
+            self.jobs += 1
+        finally:
+            self.lock.release()
+
+    def run_aliased(self):
+        lock = self.lock
+        yield lock.acquire()
+        try:
+            yield self.sim.timeout(1.0)
+        finally:
+            lock.release()

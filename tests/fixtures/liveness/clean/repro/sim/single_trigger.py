@@ -1,0 +1,35 @@
+"""Clean LIV002 twin: exclusive arms, `.triggered` guard, per-iteration
+events."""
+
+
+class SingleTrigger:
+    def complete_once(self, sim, ok):
+        done = sim.event()
+        if ok:
+            done.succeed(1)
+        else:
+            done.fail(RuntimeError("rejected"))
+        return done
+
+    def late_path_guarded(self, sim):
+        done = sim.event()
+        done.succeed(1)
+        if not done.triggered:
+            done.fail(RuntimeError("expired"))
+        return done
+
+    def fresh_event_per_iteration(self, sim, batches):
+        ticks = []
+        for batch in batches:
+            tick = sim.event()
+            tick.succeed(batch)
+            ticks.append(tick)
+        return ticks
+
+    def trigger_then_return(self, sim, ok):
+        done = sim.event()
+        if not ok:
+            done.fail(RuntimeError("rejected"))
+            return done
+        done.succeed(1)
+        return done

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import TnicDevice
+from repro.core.device import ReadTimeout
 from repro.core.dma import DmaEngine
 from repro.net import ArpServer, Link, NetworkFault
 from repro.roce import QueuePair
@@ -67,9 +68,10 @@ def test_transport_gives_up_after_retry_limit():
     assert a.roce.tables.get(1).retransmissions >= 3
 
 
-def test_read_remote_without_host_memory_is_unanswered():
-    """READ against a target with no registered memory never completes;
-    the requester's retry machinery keeps the request pending."""
+def test_read_remote_without_host_memory_times_out():
+    """READ against a target with no registered memory gets no response;
+    the composed deadline fails the completion instead of parking the
+    requester forever (LIV005)."""
     sim = Simulator()
     arp = ArpServer()
     a = TnicDevice(sim, 1, "10.0.0.1", "m-a", arp)
@@ -87,7 +89,10 @@ def test_read_remote_without_host_memory_is_unanswered():
     b.connect_qp(2, 1)
     result = a.read_remote(1, 0x1000, 8)
     sim.run(until=10_000.0)
-    assert not result.triggered
+    assert not result.triggered  # still pending inside the deadline
+    with pytest.raises(ReadTimeout, match="no response"):
+        sim.run(result)
+    assert not a._pending_reads  # the expiry cleaned up the pending map
 
 
 def test_duplicate_qp_rejected():

@@ -1,7 +1,7 @@
 """Catalog completeness: every shipped rule is explainable and documented.
 
 As rule families accumulated (DET, SIM, BND, OBS, SEC, TNT, RACE, SHD,
-PERF) nothing verified that a newly registered rule actually lands in
+PERF, LIV) nothing verified that a newly registered rule actually lands in
 ``rule_catalog()`` with usable ``--explain`` text and a row in
 ``docs/analysis.md``.  This module closes that drift for every rule at
 once — adding a rule without documenting it now fails tier-1.
@@ -24,8 +24,16 @@ from repro.analysis.rules import (
 DOCS = Path(__file__).parent.parent / "docs" / "analysis.md"
 
 EXPECTED_FAMILIES = {
-    "DET", "SIM", "BND", "OBS", "SEC", "TNT", "RACE", "SHD", "PERF",
+    "DET", "SIM", "BND", "OBS", "SEC", "TNT", "RACE", "SHD", "PERF", "LIV",
 }
+
+
+def test_liveness_rules_are_all_registered():
+    # PR 10's LIV001-005 must each resolve in the catalog and --explain.
+    for rule_id in ("LIV001", "LIV002", "LIV003", "LIV004", "LIV005"):
+        assert rule_id in rule_catalog()
+        rule = rule_by_id(rule_id)
+        assert rule is not None and rule.explanation.strip()
 
 
 def _family(rule_id: str) -> str:
